@@ -1,0 +1,19 @@
+"""Benchmark-suite helpers.
+
+Each ``test_*`` benchmark runs one paper experiment (quick scale) through
+pytest-benchmark — the wall time measures the simulator, the assertions
+verify the paper's qualitative claims (the Report's shape checks).  Full
+tables for EXPERIMENTS.md come from ``python -m repro.bench.report``.
+"""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, runner, quick=True):
+    """Benchmark one experiment run and return its Report."""
+    report = benchmark.pedantic(lambda: runner(quick=quick),
+                                iterations=1, rounds=1)
+    failures = [check for check in report.checks if not check.passed]
+    assert not failures, "shape checks failed:\n" + "\n".join(
+        f"  {c.claim}: {c.detail}" for c in failures)
+    return report

@@ -1,0 +1,9 @@
+"""Ablation bench: per-feature contribution to each workload's gain."""
+
+from repro.bench import exp_ablation
+
+from conftest import run_experiment
+
+
+def test_ablation_features(benchmark):
+    run_experiment(benchmark, exp_ablation.run)

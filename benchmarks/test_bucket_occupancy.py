@@ -1,0 +1,9 @@
+"""§6.5 bench: primary hash table bucket occupancy distribution."""
+
+from repro.bench import exp_buckets
+
+from conftest import run_experiment
+
+
+def test_bucket_occupancy(benchmark):
+    run_experiment(benchmark, exp_buckets.run)

@@ -1,0 +1,9 @@
+"""§7 bench: in-memory vs on-disk full-path hashing (DLFS)."""
+
+from repro.bench import exp_dlfs
+
+from conftest import run_experiment
+
+
+def test_dlfs_comparison(benchmark):
+    run_experiment(benchmark, exp_dlfs.run)

@@ -1,0 +1,9 @@
+"""Figure 10 bench: Dovecot maildir throughput."""
+
+from repro.bench import exp_fig10
+
+from conftest import run_experiment
+
+
+def test_fig10_dovecot(benchmark):
+    run_experiment(benchmark, exp_fig10.run)

@@ -1,0 +1,10 @@
+"""Figure 1 bench: fraction of app runtime in path-based syscalls."""
+
+from repro.bench import exp_fig1
+
+from conftest import run_experiment
+
+
+def test_fig1_syscall_fraction(benchmark):
+    report = run_experiment(benchmark, exp_fig1.run)
+    assert len(report.rows) == 9  # the full utility roster

@@ -1,0 +1,11 @@
+"""Figure 2 bench: long-path stat latency, baseline vs optimized."""
+
+from repro.bench import exp_fig2
+
+from conftest import run_experiment
+
+
+def test_fig2_stat_history(benchmark):
+    report = run_experiment(benchmark, exp_fig2.run)
+    measured = [row for row in report.rows if row[2] == "measured"]
+    assert len(measured) == 2

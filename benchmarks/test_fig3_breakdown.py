@@ -1,0 +1,10 @@
+"""Figure 3 bench: lookup latency breakdown by phase."""
+
+from repro.bench import exp_fig3
+
+from conftest import run_experiment
+
+
+def test_fig3_breakdown(benchmark):
+    report = run_experiment(benchmark, exp_fig3.run)
+    assert len(report.rows) == 8  # 4 paths x 2 kernels

@@ -1,0 +1,16 @@
+"""Figure 6 bench: stat/open latency across path patterns."""
+
+from repro.bench import exp_fig6
+
+from conftest import run_experiment
+
+
+def test_fig6_lookup_patterns(benchmark):
+    report = run_experiment(benchmark, exp_fig6.run)
+    assert len(report.rows) == 11  # all path patterns
+
+
+def test_fig6_at_variants(benchmark):
+    report = benchmark.pedantic(exp_fig6.run_at_variants,
+                                iterations=1, rounds=1)
+    assert report.all_passed

@@ -1,0 +1,9 @@
+"""Figure 7 bench: chmod/rename latency vs cached subtree size."""
+
+from repro.bench import exp_fig7
+
+from conftest import run_experiment
+
+
+def test_fig7_mutation_cost(benchmark):
+    run_experiment(benchmark, exp_fig7.run)

@@ -1,0 +1,10 @@
+"""Figure 8 bench: latency vs thread count (analytic projection)."""
+
+from repro.bench import exp_fig8
+
+from conftest import run_experiment
+
+
+def test_fig8_scalability(benchmark):
+    report = run_experiment(benchmark, exp_fig8.run)
+    assert len(report.rows) == 13  # 1..12 threads + writer row

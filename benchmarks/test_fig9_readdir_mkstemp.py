@@ -1,0 +1,9 @@
+"""Figure 9 bench: readdir and mkstemp latency vs directory size."""
+
+from repro.bench import exp_fig9
+
+from conftest import run_experiment
+
+
+def test_fig9_readdir_mkstemp(benchmark):
+    run_experiment(benchmark, exp_fig9.run)

@@ -1,0 +1,9 @@
+"""§4.3 bench: NFS-like vs AFS-like clients under both kernels."""
+
+from repro.bench import exp_netfs
+
+from conftest import run_experiment
+
+
+def test_netfs_comparison(benchmark):
+    run_experiment(benchmark, exp_netfs.run)

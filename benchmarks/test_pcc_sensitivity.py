@@ -1,0 +1,9 @@
+"""§6.1 ablation bench: PCC capacity sensitivity (updatedb)."""
+
+from repro.bench import exp_pcc
+
+from conftest import run_experiment
+
+
+def test_pcc_sensitivity(benchmark):
+    run_experiment(benchmark, exp_pcc.run)

@@ -1,0 +1,15 @@
+"""§3.3 bench: signature collision risk and PCC containment."""
+
+from repro.bench import exp_collisions
+
+from conftest import run_experiment
+
+
+def test_collision_risk_model(benchmark):
+    run_experiment(benchmark, exp_collisions.run)
+
+
+def test_collision_containment(benchmark):
+    report = benchmark.pedantic(exp_collisions.run_containment,
+                                iterations=1, rounds=1)
+    assert report.all_passed

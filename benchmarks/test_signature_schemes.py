@@ -1,0 +1,9 @@
+"""§3.3 bench: 2-universal vs PRF signature schemes."""
+
+from repro.bench import exp_sigscheme
+
+from conftest import run_experiment
+
+
+def test_signature_schemes(benchmark):
+    run_experiment(benchmark, exp_sigscheme.run)

@@ -1,0 +1,48 @@
+"""Raw simulator throughput: wall-clock cost of simulated syscalls.
+
+Not a paper experiment — this measures the *reproduction's* own speed,
+so regressions in the simulator implementation show up in CI.
+"""
+
+import pytest
+
+from repro import O_CREAT, O_RDWR, make_kernel
+from repro.workloads import lmbench
+
+
+@pytest.fixture(scope="module", params=["baseline", "optimized"])
+def warm_kernel(request):
+    kernel = make_kernel(request.param)
+    task = lmbench.prepare_lookup_tree(kernel)
+    kernel.sys.stat(task, lmbench.LONG_PATH)
+    return kernel, task
+
+
+def test_warm_stat_wallclock(benchmark, warm_kernel):
+    kernel, task = warm_kernel
+    benchmark(kernel.sys.stat, task, lmbench.LONG_PATH)
+
+
+def test_create_unlink_wallclock(benchmark):
+    kernel = make_kernel("optimized")
+    task = kernel.spawn_task(uid=0, gid=0)
+    kernel.sys.mkdir(task, "/w")
+    counter = [0]
+
+    def create_and_unlink():
+        path = f"/w/f{counter[0]}"
+        counter[0] += 1
+        fd = kernel.sys.open(task, path, O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        kernel.sys.unlink(task, path)
+
+    benchmark(create_and_unlink)
+
+
+def test_readdir_wallclock(benchmark):
+    from repro.workloads.tree import build_flat_dir
+    kernel = make_kernel("optimized")
+    task = kernel.spawn_task(uid=0, gid=0)
+    build_flat_dir(kernel, task, "/big", 500)
+    kernel.sys.listdir(task, "/big")
+    benchmark(kernel.sys.listdir, task, "/big")

@@ -1,0 +1,9 @@
+"""§6.1 space-overhead bench: memory cost of the optimized design."""
+
+from repro.bench import exp_space
+
+from conftest import run_experiment
+
+
+def test_space_overhead(benchmark):
+    run_experiment(benchmark, exp_space.run)

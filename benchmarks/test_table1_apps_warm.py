@@ -1,0 +1,10 @@
+"""Table 1 bench: application performance, warm cache."""
+
+from repro.bench import exp_table1
+
+from conftest import run_experiment
+
+
+def test_table1_apps_warm(benchmark):
+    report = run_experiment(benchmark, exp_table1.run)
+    assert len(report.rows) == 9

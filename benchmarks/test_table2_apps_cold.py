@@ -1,0 +1,9 @@
+"""Table 2 bench: application performance, cold cache."""
+
+from repro.bench import exp_table2
+
+from conftest import run_experiment
+
+
+def test_table2_apps_cold(benchmark):
+    run_experiment(benchmark, exp_table2.run)

@@ -1,0 +1,9 @@
+"""Table 3 bench: Apache directory-listing throughput."""
+
+from repro.bench import exp_table3
+
+from conftest import run_experiment
+
+
+def test_table3_apache(benchmark):
+    run_experiment(benchmark, exp_table3.run)

@@ -1,0 +1,11 @@
+"""Table 4 bench: lines-of-code inventory (adoption cost)."""
+
+from repro.bench import exp_table4
+
+from conftest import run_experiment
+
+
+def test_table4_loc(benchmark):
+    report = run_experiment(benchmark, exp_table4.run)
+    total = sum(row[2] for row in report.rows)
+    assert total > 5000  # the library is a real system, not a stub

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Domain example: an rsync-style incremental backup tool.
+
+A complete little application on the public API: it walks a source tree,
+compares mtimes and sizes against a destination tree, and copies only
+what changed — the classic metadata-bound workload the paper's
+optimizations exist for.  The second (incremental, nothing-changed) run
+is almost pure directory-cache traffic, and the optimized kernel's
+advantage is much larger there than on the first (copy-bound) run.
+
+Run:  python examples/backup_sync.py
+"""
+
+from repro import O_CREAT, O_RDONLY, O_RDWR, O_TRUNC, errors, make_kernel
+from repro.workloads.tree import TreeSpec, populate
+
+
+def sync_tree(kernel, task, src: str, dst: str) -> int:
+    """Copy changed/new files from src to dst; returns files copied."""
+    sys = kernel.sys
+    if not sys.exists(task, dst):
+        sys.mkdir(task, dst)
+    copied = 0
+    for name, _ino, dtype in sys.listdir(task, src):
+        s_path = f"{src}/{name}"
+        d_path = f"{dst}/{name}"
+        if dtype == "dir":
+            copied += sync_tree(kernel, task, s_path, d_path)
+            continue
+        if dtype != "reg":
+            continue
+        s_st = sys.stat(task, s_path)
+        try:
+            d_st = sys.stat(task, d_path)
+            fresh = (d_st.size == s_st.size
+                     and d_st.mtime_ns >= s_st.mtime_ns)
+        except errors.ENOENT:
+            fresh = False
+        if fresh:
+            continue
+        in_fd = sys.open(task, s_path, O_RDONLY)
+        out_fd = sys.open(task, d_path, O_CREAT | O_RDWR | O_TRUNC)
+        sys.write(task, out_fd, sys.read(task, in_fd, s_st.size))
+        sys.close(task, in_fd)
+        sys.close(task, out_fd)
+        copied += 1
+    return copied
+
+
+def run_backup(profile: str):
+    """One full + one incremental sync; returns their virtual times."""
+    kernel = make_kernel(profile)
+    task = kernel.spawn_task(uid=0, gid=0)
+    populate(kernel, task, "/data",
+             TreeSpec(depth=2, dirs_per_level=4, files_per_dir=12,
+                      file_bytes=64))
+    start = kernel.now_ns
+    first = sync_tree(kernel, task, "/data", "/backup")
+    full_ns = kernel.now_ns - start
+    # Touch a handful of files, then sync incrementally.
+    sys = kernel.sys
+    edited = [name for name, _ino, dtype in sys.listdir(task, "/data")
+              if dtype == "reg"][:3]
+    for name in edited:
+        fd = sys.open(task, f"/data/{name}", O_RDWR)
+        sys.write(task, fd, b"edited!")
+        sys.close(task, fd)
+    start = kernel.now_ns
+    second = sync_tree(kernel, task, "/data", "/backup")
+    incr_ns = kernel.now_ns - start
+    return first, full_ns, second, incr_ns
+
+
+def main() -> None:
+    print("incremental backup over a 250-file tree\n")
+    results = {}
+    for profile in ("baseline", "optimized"):
+        first, full_ns, second, incr_ns = run_backup(profile)
+        results[profile] = (full_ns, incr_ns)
+        print(f"{profile:10s}: full sync {first:3d} files in "
+              f"{full_ns / 1e6:7.2f} ms; incremental {second} files in "
+              f"{incr_ns / 1e6:7.2f} ms")
+    full_gain = 100 * (1 - results["optimized"][0] / results["baseline"][0])
+    incr_gain = 100 * (1 - results["optimized"][1] / results["baseline"][1])
+    print(f"\ngain on the copy-bound full sync:       {full_gain:+5.1f}%")
+    print(f"gain on the metadata-bound incremental: {incr_gain:+5.1f}%")
+    print("(the incremental pass is where the directory cache rules)")
+
+
+if __name__ == "__main__":
+    main()

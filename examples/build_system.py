@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Domain example: a build-system's view of the directory cache.
+
+Replays a compiler-driver workload (the paper's ``make``): for every
+source file, probe an include search path — mostly negative lookups —
+then read the source and emit an object file.  Shows how negative
+dentry caching absorbs the header-probing storm, and compares the
+virtual time on both kernels.
+
+Run:  python examples/build_system.py
+"""
+
+from repro import make_kernel
+from repro.workloads import apps
+
+
+def main() -> None:
+    print("simulated `make` over a Linux-source-shaped tree\n")
+    results = {}
+    for profile in ("baseline", "optimized"):
+        kernel = make_kernel(profile)
+        app = apps.MakeWorkload()
+        result = apps.run_app(kernel, app, warm=True)
+        results[profile] = result
+        print(f"{profile:10s}: {result.total_ns / 1e6:9.2f} virtual ms, "
+              f"{result.lookups} lookups, "
+              f"negative rate {100 * result.negative_rate:.1f}%, "
+              f"hit rate {100 * result.component_hit_rate:.1f}%")
+        counts = result.syscall_counts
+        probes = counts.get("stat", 0)
+        print(f"{'':10s}  ({probes} stat probes, "
+              f"{counts.get('open', 0)} opens, "
+              f"{counts.get('read', 0)} reads)")
+    base, opt = results["baseline"], results["optimized"]
+    gain = 100.0 * (1 - opt.total_ns / base.total_ns)
+    print(f"\nend-to-end gain: {gain:+.2f}% "
+          f"(compilation dominates, as the paper's ~0% for make)")
+
+    # Isolate the path-lookup share, where the win actually lives:
+    path_gain = 100.0 * (1 - opt.path_syscall_ns / base.path_syscall_ns)
+    print(f"path-syscall-only gain: {path_gain:+.2f}% "
+          f"(the header-probe storm is what gets faster)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation`` on offline machines whose
+setuptools cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

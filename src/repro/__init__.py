@@ -1,0 +1,53 @@
+"""dcache-repro: a reproduction of "How to Get More Value From Your File
+System Directory Cache" (Tsai et al., SOSP 2015).
+
+The library simulates a Unix VFS with two interchangeable directory cache
+designs — the Linux-style baseline and the paper's optimized design
+(full-path direct lookup, prefix check caching, path signatures,
+directory completeness, aggressive negative dentries) — over simulated
+low-level file systems with a calibrated virtual-time cost model.
+
+Quickstart::
+
+    from repro import make_kernel, O_CREAT, O_RDWR
+
+    kernel = make_kernel("optimized")
+    task = kernel.spawn_task(uid=1000, gid=1000)
+    kernel.sys.mkdir(task, "/home")
+    fd = kernel.sys.open(task, "/home/readme", flags=O_CREAT | O_RDWR)
+    ...
+
+See ``examples/quickstart.py`` for a complete tour and ``DESIGN.md`` for
+the system inventory.
+"""
+
+from repro.core.kernel import (BASELINE, OPTIMIZED, DcacheConfig, Kernel,
+                               make_kernel)
+from repro.errors import FsError
+from repro.vfs.file import (O_APPEND, O_CREAT, O_DIRECTORY, O_EXCL,
+                            O_NOFOLLOW, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY)
+from repro.vfs.permissions import MAY_EXEC, MAY_READ, MAY_WRITE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "make_kernel",
+    "Kernel",
+    "DcacheConfig",
+    "BASELINE",
+    "OPTIMIZED",
+    "FsError",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_CREAT",
+    "O_EXCL",
+    "O_TRUNC",
+    "O_APPEND",
+    "O_DIRECTORY",
+    "O_NOFOLLOW",
+    "MAY_READ",
+    "MAY_WRITE",
+    "MAY_EXEC",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Benchmark harness: one module per table/figure of the paper.
+
+Each ``exp_*`` module exposes ``run(quick=False) -> Report`` which
+executes the experiment on baseline and optimized kernels and returns a
+:class:`~repro.bench.harness.Report` carrying measured rows, the paper's
+expectation, and shape checks.  ``python -m repro.bench.report``
+regenerates every experiment and renders EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import Report, render_table
+
+__all__ = ["Report", "render_table"]

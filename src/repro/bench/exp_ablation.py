@@ -1,0 +1,113 @@
+"""Feature ablation: which mechanism buys which workload's gain.
+
+DESIGN.md calls out four separable mechanisms — the lookup fastpath
+(DLHT+PCC+signatures), directory completeness caching, aggressive
+negative dentries, and deep negative dentries.  This experiment enables
+them one at a time over the baseline and reruns a representative slice
+of the evaluation:
+
+* ``find`` (stat-heavy traversal)       -> mostly fastpath;
+* ``updatedb`` (readdir-heavy traversal) -> mostly completeness;
+* repeated failing ``stat`` (deep miss)  -> deep negatives;
+* ``make`` header probing               -> negative caching + fastpath.
+"""
+
+from __future__ import annotations
+
+from repro import errors, make_kernel
+from repro.bench.harness import Report, gain_pct
+from repro.core.kernel import BASELINE, DcacheConfig
+from repro.workloads import apps
+
+CONFIGS = [
+    ("baseline", BASELINE),
+    ("+fastpath", BASELINE.variant(name="fastpath", fastpath=True)),
+    ("+dir-complete", BASELINE.variant(name="complete",
+                                       dir_complete=True)),
+    ("+fastpath+complete", BASELINE.variant(name="fp+dc", fastpath=True,
+                                            dir_complete=True)),
+    ("full optimized", BASELINE.variant(name="full", fastpath=True,
+                                        dir_complete=True,
+                                        aggressive_negative=True,
+                                        deep_negative=True)),
+]
+
+
+def _app_time(config: DcacheConfig, factory, scale: str) -> float:
+    kernel = make_kernel(config=config)
+    app = factory()
+    app.tree_scale = scale
+    return apps.run_app(kernel, app, warm=True).total_ns
+
+
+def _deep_miss_time(config: DcacheConfig) -> float:
+    """Repeatedly stat a path whose first component is missing."""
+    kernel = make_kernel(config=config)
+    task = kernel.spawn_task(uid=0, gid=0)
+    path = "/gone/sub/dir/file"
+    for _ in range(3):
+        try:
+            kernel.sys.stat(task, path)
+        except errors.ENOENT:
+            pass
+    start = kernel.now_ns
+    for _ in range(10):
+        try:
+            kernel.sys.stat(task, path)
+        except errors.ENOENT:
+            pass
+    return (kernel.now_ns - start) / 10.0
+
+
+def run(quick: bool = False) -> Report:
+    """Run the experiment; ``quick`` shrinks workload scale."""
+    scale = "small" if quick else "medium"
+    report = Report(
+        exp_id="Ablation",
+        title="Per-feature contribution (gain % over baseline)",
+        paper_expectation=("fastpath drives multi-component-stat gains "
+                           "(git diff); completeness drives "
+                           "traversal/readdir gains (find, updatedb); "
+                           "deep negatives drive repeated-failing-lookup "
+                           "gains; features compose"),
+        headers=["configuration", "git-diff gain %", "find gain %",
+                 "updatedb gain %", "deep-miss stat gain %"],
+    )
+    results = {}
+    for label, config in CONFIGS:
+        results[label] = (
+            _app_time(config, apps.GitDiffWorkload, scale),
+            _app_time(config, apps.FindWorkload, scale),
+            _app_time(config, apps.UpdatedbWorkload, scale),
+            _deep_miss_time(config),
+        )
+    base = results["baseline"]
+    for label, _config in CONFIGS:
+        row = results[label]
+        report.add_row(label, *[gain_pct(base[i], row[i])
+                                for i in range(4)])
+
+    diff_fp = gain_pct(base[0], results["+fastpath"][0])
+    diff_dc = gain_pct(base[0], results["+dir-complete"][0])
+    updb_fp = gain_pct(base[2], results["+fastpath"][2])
+    updb_dc = gain_pct(base[2], results["+dir-complete"][2])
+    deep_full = gain_pct(base[3], results["full optimized"][3])
+    deep_fp = gain_pct(base[3], results["+fastpath"][3])
+    report.check("fastpath drives the multi-component lstat workload "
+                 "(git diff), completeness does not",
+                 diff_fp > diff_dc + 2.0,
+                 f"fastpath {diff_fp:.1f}% vs complete {diff_dc:.1f}%")
+    report.check("completeness contributes more than fastpath to "
+                 "updatedb", updb_dc > updb_fp,
+                 f"complete {updb_dc:.1f}% vs fastpath {updb_fp:.1f}%")
+    report.check("deep negatives unlock fast repeated failing lookups",
+                 deep_full > deep_fp + 5.0,
+                 f"full {deep_full:.1f}% vs fastpath-only {deep_fp:.1f}%")
+    find_fp = gain_pct(base[1], results["+fastpath"][1])
+    find_dc = gain_pct(base[1], results["+dir-complete"][1])
+    combined = gain_pct(base[1], results["full optimized"][1])
+    report.check("features compose (full ≥ best single feature on find)",
+                 combined >= max(find_fp, find_dc) - 0.5,
+                 f"full {combined:.1f}% vs fp {find_fp:.1f}% / "
+                 f"dc {find_dc:.1f}%")
+    return report

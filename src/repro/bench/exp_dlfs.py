@@ -1,0 +1,87 @@
+"""§7: in-memory vs on-disk full-path hashing (the DLFS comparison).
+
+"An important insight of our work is that full path hashing in memory,
+but not on disk, can realize similar performance gains, but without these
+usability problems, such as deep directory copies on a rename."
+
+Three systems rename a populated directory:
+
+* baseline dcache over simext — constant-time rename, linear lookups;
+* optimized dcache over simext — fast lookups, rename linear in the
+  *cached* subtree at ~tens of ns per dentry (memory work);
+* baseline dcache over a DLFS-like path-keyed store — fast single-I/O
+  lookups, but rename re-keys every descendant *on disk*.
+"""
+
+from __future__ import annotations
+
+from repro import make_kernel
+from repro.bench.harness import Report
+from repro.fs.dlfs import DlfsLikeFs
+from repro.workloads.tree import build_fanout_tree
+
+
+def _measure(profile: str, depth: int, use_dlfs: bool):
+    if use_dlfs:
+        from repro.sim.costs import CostModel
+        costs = CostModel()
+        kernel = make_kernel(profile, root_fs=DlfsLikeFs(costs),
+                             costs=costs)
+    else:
+        kernel = make_kernel(profile)
+    task = kernel.spawn_task(uid=0, gid=0)
+    base, descendants = build_fanout_tree(kernel, task, "/victim", depth)
+    # Files live at the leaves: base/dir0/.../dir0/file0.
+    probe = base + "/dir0" * (depth - 1) + "/file0"
+    kernel.sys.stat(task, probe)
+    start = kernel.now_ns
+    kernel.sys.stat(task, probe)
+    lookup_ns = kernel.now_ns - start
+    start = kernel.now_ns
+    kernel.sys.rename(task, base, "/renamed")
+    rename_ns = kernel.now_ns - start
+    return lookup_ns, rename_ns, descendants
+
+
+def run(quick: bool = False) -> Report:
+    """Run the experiment; ``quick`` shrinks workload scale."""
+    depth = 2 if quick else 3
+    report = Report(
+        exp_id="§7 DLFS",
+        title="Full-path hashing: in memory (DLHT) vs on disk (DLFS)",
+        paper_expectation=("on-disk path hashing gives one-I/O lookups "
+                           "but turns rename into a deep recursive copy; "
+                           "the DLHT keeps rename's on-disk cost constant "
+                           "and pays only in-memory invalidation"),
+        headers=["system", "warm lookup (ns)", "rename (us)",
+                 "descendants"],
+    )
+    systems = [
+        ("baseline dcache / simext", "baseline", False),
+        ("optimized dcache / simext", "optimized", False),
+        ("baseline dcache / dlfs-like", "baseline", True),
+    ]
+    results = {}
+    for label, profile, use_dlfs in systems:
+        lookup_ns, rename_ns, descendants = _measure(profile, depth,
+                                                     use_dlfs)
+        results[label] = (lookup_ns, rename_ns, descendants)
+        report.add_row(label, lookup_ns, rename_ns / 1000, descendants)
+
+    ext_opt = results["optimized dcache / simext"]
+    ext_base = results["baseline dcache / simext"]
+    dlfs = results["baseline dcache / dlfs-like"]
+    report.check("the optimized dcache wins warm lookups over baseline",
+                 ext_opt[0] < ext_base[0])
+    report.check("DLFS rename is far costlier than the DLHT's in-memory "
+                 "invalidation (the §7 usability cliff)",
+                 dlfs[1] > 10 * ext_opt[1],
+                 f"dlfs {dlfs[1]/1000:.0f} us vs optimized "
+                 f"{ext_opt[1]/1000:.0f} us")
+    report.check("optimized rename overhead stays memory-scale "
+                 "(< 100 ns per cached descendant over baseline)",
+                 (ext_opt[1] - ext_base[1]) / max(1, ext_opt[2]) < 100)
+    per_obj = dlfs[1] / max(1, dlfs[2])
+    report.check("DLFS pays I/O-scale cost per descendant",
+                 per_obj > 5_000, f"{per_obj:.0f} ns/object")
+    return report

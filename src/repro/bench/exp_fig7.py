@@ -1,0 +1,61 @@
+"""Figure 7: chmod/rename latency on populated directories.
+
+The optimized kernel's deliberate trade-off: directory permission and
+structure changes recursively invalidate every cached descendant, so
+their cost grows linearly with the cached subtree (≈330 µs at 10,000
+descendants in the paper) while the baseline stays ~constant.
+"""
+
+from __future__ import annotations
+
+from repro import make_kernel
+from repro.bench.harness import Report
+from repro.workloads import lmbench
+
+DEPTHS = [0, 1, 2, 3, 4]  # 1, 10, 100, 1k, 10k files
+LABELS = ["single file", "depth=1, 10 files", "depth=2, 100 files",
+          "depth=3, 1000 files", "depth=4, 10000 files"]
+
+
+def run(quick: bool = False) -> Report:
+    """Run the experiment; ``quick`` shrinks workload scale."""
+    depths = DEPTHS[:-1] if quick else DEPTHS
+    report = Report(
+        exp_id="Figure 7",
+        title="chmod / rename latency vs cached subtree size (us)",
+        paper_expectation=("baseline ~constant; optimized grows linearly "
+                           "with descendants, ~330 us at 10k children; "
+                           "slowdown up to ~30,000%"),
+        headers=["subtree", "chmod base", "chmod opt", "chmod slowdown %",
+                 "rename base", "rename opt", "rename slowdown %",
+                 "descendants"],
+    )
+    results = []
+    for depth, label in zip(depths, LABELS):
+        base_kernel = make_kernel("baseline")
+        opt_kernel = make_kernel("optimized")
+        bc, br, _n = lmbench.measure_mutation_latency(base_kernel, depth)
+        oc, orn, descendants = lmbench.measure_mutation_latency(
+            opt_kernel, depth)
+        results.append((label, bc, oc, br, orn, descendants))
+        report.add_row(label, bc / 1000, oc / 1000,
+                       100.0 * (oc / bc - 1.0), br / 1000, orn / 1000,
+                       100.0 * (orn / br - 1.0), descendants)
+
+    small = results[0]
+    large = results[-1]
+    report.check("baseline mutation cost ~constant across subtree sizes",
+                 large[1] < 4 * small[1] and large[3] < 4 * small[3],
+                 f"chmod {small[1]:.0f} -> {large[1]:.0f} ns")
+    report.check("optimized mutation cost grows with cached descendants",
+                 large[2] > 20 * small[2],
+                 f"chmod {small[2]:.0f} -> {large[2]:.0f} ns")
+    if not quick:
+        report.check("10k-descendant mutation lands near paper's ~330 us",
+                     100_000 <= large[2] <= 1_500_000,
+                     f"chmod {large[2]/1000:.0f} us, "
+                     f"rename {large[4]/1000:.0f} us")
+    per_dentry = (large[2] - small[2]) / max(1, large[5])
+    report.check("per-descendant invalidation cost is tens of ns",
+                 10.0 <= per_dentry <= 100.0, f"{per_dentry:.0f} ns")
+    return report

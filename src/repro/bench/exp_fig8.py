@@ -1,0 +1,95 @@
+"""Figure 8: stat/open latency as threads are added.
+
+The paper shows both kernels' read paths scale linearly (flat per-thread
+latency) to 12 cores, with the optimized kernel strictly below the
+baseline.  Python cannot demonstrate hardware parallelism, so the
+single-thread latencies are *measured* on each kernel and projected
+through the analytic contention model of :mod:`repro.sim.concurrency`
+(lock-free read path: coherence-traffic growth only).
+"""
+
+from __future__ import annotations
+
+from repro import make_kernel
+from repro.bench.harness import Report
+from repro.sim.concurrency import read_latency_curve, writer_latency_curve
+from repro.workloads import lmbench
+
+MAX_THREADS = 12
+PATH = "XXX/YYY/ZZZ/FFF"
+
+
+def run(quick: bool = False) -> Report:
+    """Run the experiment; ``quick`` shrinks workload scale."""
+    report = Report(
+        exp_id="Figure 8",
+        title="stat/open latency vs thread count (analytic model, us)",
+        paper_expectation=("read latency flat as threads grow on both "
+                           "kernels; optimized below baseline at every "
+                           "thread count; rename contends"),
+        headers=["threads", "stat base", "stat opt", "open base",
+                 "open opt"],
+    )
+    single = {}
+    for profile in ("baseline", "optimized"):
+        kernel = make_kernel(profile)
+        task = lmbench.prepare_lookup_tree(kernel)
+        single[profile] = (lmbench.measure_stat(kernel, task, PATH),
+                           lmbench.measure_open(kernel, task, PATH))
+    curves = {
+        profile: (read_latency_curve(vals[0], MAX_THREADS),
+                  read_latency_curve(vals[1], MAX_THREADS))
+        for profile, vals in single.items()
+    }
+    for t in range(MAX_THREADS):
+        report.add_row(t + 1,
+                       curves["baseline"][0][t] / 1000,
+                       curves["optimized"][0][t] / 1000,
+                       curves["baseline"][1][t] / 1000,
+                       curves["optimized"][1][t] / 1000)
+
+    base_stat = curves["baseline"][0]
+    opt_stat = curves["optimized"][0]
+    report.check("read latency stays flat (≤10% growth at 12 threads)",
+                 base_stat[-1] <= 1.10 * base_stat[0]
+                 and opt_stat[-1] <= 1.10 * opt_stat[0])
+    report.check("optimized below baseline at every thread count",
+                 all(o < b for o, b in zip(opt_stat, base_stat)))
+    # Writers: the paper reports single-file rename at 13 µs (1 core)
+    # growing to ~131 µs at 12 contending cores on the optimized kernel,
+    # and 18 -> 118 µs on the baseline — "our optimizations do not make
+    # this situation worse".  We project the *measured* single-thread
+    # rename latencies of both kernels through the writer model.
+    writer_single = {}
+    for profile in ("baseline", "optimized"):
+        kernel = make_kernel(profile)
+        task = kernel.spawn_task(uid=0, gid=0)
+        fd = kernel.sys.open(task, "/wfile", 0o102)  # O_CREAT|O_RDWR
+        kernel.sys.close(task, fd)
+        kernel.sys.rename(task, "/wfile", "/wfile2")  # warm
+        kernel.sys.rename(task, "/wfile2", "/wfile")
+        start = kernel.now_ns
+        kernel.sys.rename(task, "/wfile", "/wfile3")
+        writer_single[profile] = kernel.now_ns - start
+    base_writers = writer_latency_curve(writer_single["baseline"],
+                                        MAX_THREADS)
+    opt_writers = writer_latency_curve(writer_single["optimized"],
+                                       MAX_THREADS)
+    report.add_row("rename @12 threads (us)",
+                   base_writers[-1] / 1000, opt_writers[-1] / 1000,
+                   "-", "-")
+    report.check("writers (rename) queue with contention "
+                 "(paper: 13 us -> ~131 us)",
+                 opt_writers[-1] > 5 * opt_writers[0],
+                 f"{opt_writers[0]/1000:.0f} -> "
+                 f"{opt_writers[-1]/1000:.0f} us")
+    report.check("single-file rename contention is no worse on the "
+                 "optimized kernel (within 25%)",
+                 opt_writers[-1] <= 1.25 * base_writers[-1],
+                 f"opt {opt_writers[-1]/1000:.0f} us vs base "
+                 f"{base_writers[-1]/1000:.0f} us at 12 threads")
+    report.notes = ("per-thread read latencies are the measured "
+                    "single-thread values projected through the "
+                    "lock-free-read contention model (GIL prevents a "
+                    "native multicore measurement).")
+    return report

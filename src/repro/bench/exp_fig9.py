@@ -1,0 +1,70 @@
+"""Figure 9: readdir and mkstemp latency vs directory size.
+
+Directory-completeness caching serves repeated listings from the dcache
+(46-74% faster in the paper, more as directories grow) and elides the
+compulsory lookup miss of secure temp-file creation (1-8% faster
+mkstemp).
+"""
+
+from __future__ import annotations
+
+from repro import make_kernel
+from repro.bench.harness import Report, gain_pct
+from repro.workloads import lmbench
+
+SIZES = [10, 100, 1000, 10000]
+
+#: Paper's measured values (µs) for context.
+PAPER_READDIR = {10: (4.2, 2.4), 100: (24.4, 7.9), 1000: (284.0, 73.3),
+                 10000: (2885.5, 796.9)}
+PAPER_MKSTEMP = {10: (11.7, 11.6), 100: (13.4, 13.1), 1000: (17.4, 15.9),
+                 10000: (18.0, 16.6)}
+
+
+def run(quick: bool = False) -> Report:
+    """Run the experiment; ``quick`` shrinks workload scale."""
+    sizes = SIZES[:-1] if quick else SIZES
+    report = Report(
+        exp_id="Figure 9",
+        title="readdir / mkstemp latency vs directory size (us)",
+        paper_expectation=("readdir 46-74% faster from the dcache; "
+                           "mkstemp 1-8% faster via completeness"),
+        headers=["files", "readdir base", "readdir opt", "readdir gain %",
+                 "paper gain %", "mkstemp base", "mkstemp opt",
+                 "mkstemp gain %"],
+    )
+    readdir_gains = {}
+    mkstemp_gains = {}
+    for size in sizes:
+        values = {}
+        for profile in ("baseline", "optimized"):
+            kernel = make_kernel(profile)
+            values[profile] = (
+                lmbench.measure_readdir_latency(kernel, size),
+                lmbench.measure_mkstemp_latency(kernel, size),
+            )
+        r_gain = gain_pct(values["baseline"][0], values["optimized"][0])
+        m_gain = gain_pct(values["baseline"][1], values["optimized"][1])
+        readdir_gains[size] = r_gain
+        mkstemp_gains[size] = m_gain
+        paper_base, paper_opt = PAPER_READDIR[size]
+        report.add_row(size, values["baseline"][0] / 1000,
+                       values["optimized"][0] / 1000, r_gain,
+                       gain_pct(paper_base, paper_opt),
+                       values["baseline"][1] / 1000,
+                       values["optimized"][1] / 1000, m_gain)
+
+    report.check("readdir gains fall in the paper's band (roughly "
+                 "40-75%, growing with size)",
+                 all(30.0 <= g <= 80.0 for g in readdir_gains.values()),
+                 ", ".join(f"{s}:{g:.0f}%"
+                           for s, g in readdir_gains.items()))
+    report.check("readdir caching helps even 10-entry directories "
+                 "(contra the Solaris 1024-entry heuristic)",
+                 readdir_gains[10] > 10.0,
+                 f"{readdir_gains[10]:.0f}% at 10 entries")
+    report.check("mkstemp improves modestly (paper 1-8%)",
+                 all(0.0 < g <= 15.0 for g in mkstemp_gains.values()),
+                 ", ".join(f"{s}:{g:.1f}%"
+                           for s, g in mkstemp_gains.items()))
+    return report

@@ -1,0 +1,66 @@
+"""§6.1 "Space Overhead": the optimized design's memory cost.
+
+The paper: the dentry grows from 192 to 280 bytes (+46%), each credential
+carries a 64 KB PCC, the DLHT adds 2^16 buckets, and "increasing [the
+dcache] by 50% is likely within an acceptable fraction of total system
+memory".  We populate both kernels with the same tree and report the
+per-dentry and total footprints from the structure-size model.
+"""
+
+from __future__ import annotations
+
+from repro import make_kernel
+from repro.bench.harness import Report
+from repro.sim.memory import (BASE_DENTRY_BYTES, FAST_DENTRY_BYTES,
+                              measure_kernel)
+from repro.workloads.tree import TreeSpec, populate
+
+
+def run(quick: bool = False) -> Report:
+    """Run the experiment; ``quick`` shrinks workload scale."""
+    spec = TreeSpec(depth=2, dirs_per_level=4, files_per_dir=10) if quick \
+        else TreeSpec(depth=3, dirs_per_level=5, files_per_dir=12)
+    report = Report(
+        exp_id="§6.1 space",
+        title="Directory cache space overhead",
+        paper_expectation=("dentry 192 -> 280 bytes (+46%); 64 KB PCC "
+                           "per credential; 2^16-bucket DLHT; overall "
+                           "~50% growth is the accepted trade"),
+        headers=["kernel", "dentries", "bytes/dentry", "PCC KB",
+                 "DLHT KB", "total MB", "overhead vs baseline %"],
+    )
+    reports = {}
+    for profile in ("baseline", "optimized"):
+        kernel = make_kernel(profile)
+        task = kernel.spawn_task(uid=0, gid=0)
+        tree = populate(kernel, task, "/src", spec)
+        # Walk everything so the optimized kernel populates fast state.
+        for path in tree.all_paths:
+            kernel.sys.stat(task, path)
+            kernel.sys.stat(task, path)
+        memory = measure_kernel(kernel)
+        reports[profile] = memory
+        report.add_row(profile, memory.dentries, memory.bytes_per_dentry,
+                       memory.pcc_bytes / 1024,
+                       memory.dlht_table_bytes / 1024,
+                       memory.total_bytes / (1 << 20),
+                       100.0 * memory.overhead_fraction)
+
+    base, opt = reports["baseline"], reports["optimized"]
+    report.check("baseline dentries cost exactly 192 bytes",
+                 base.bytes_per_dentry == BASE_DENTRY_BYTES)
+    report.check("optimized dentries approach the paper's 280 bytes "
+                 "(192 + 88 once fast state is populated)",
+                 BASE_DENTRY_BYTES < opt.bytes_per_dentry
+                 <= BASE_DENTRY_BYTES + FAST_DENTRY_BYTES,
+                 f"{opt.bytes_per_dentry:.0f} bytes")
+    report.check("per-credential PCC is the paper's 64 KB",
+                 opt.pcc_bytes / max(1, opt.pcc_count) == 64 * 1024)
+    report.check("total overhead lands near the paper's ~50% band",
+                 0.10 <= opt.overhead_fraction <= 0.90,
+                 f"{100 * opt.overhead_fraction:.0f}%")
+    report.notes = ("overhead depends on cache population: fixed tables "
+                    "(DLHT buckets, PCC) amortize as the dcache grows, "
+                    "per-dentry fast state does not — the paper's 50% "
+                    "figure assumes a populated cache.")
+    return report

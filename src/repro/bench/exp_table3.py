@@ -1,0 +1,51 @@
+"""Table 3: Apache auto-generated directory listing throughput.
+
+Pages are generated per request (readdir + per-entry stat + HTML);
+the paper reports 5.9-12.2% higher request throughput on the optimized
+kernel across directory sizes 10-10,000.
+"""
+
+from __future__ import annotations
+
+from repro import make_kernel
+from repro.bench.harness import Report, speedup_pct
+from repro.workloads import webserver
+
+SIZES = [10, 100, 1000, 10000]
+PAPER_GAINS = {10: 12.24, 100: 6.43, 1000: 5.92, 10000: 10.09}
+
+
+def run(quick: bool = False) -> Report:
+    """Run the experiment; ``quick`` shrinks workload scale."""
+    sizes = SIZES[:-1] if quick else SIZES
+    requests = 10 if quick else 30
+    report = Report(
+        exp_id="Table 3",
+        title="Apache directory-listing throughput (requests/second)",
+        paper_expectation="gains of 5.9-12.2% across directory sizes",
+        headers=["files", "baseline req/s", "optimized req/s", "gain %",
+                 "paper gain %"],
+    )
+    gains = {}
+    for size in sizes:
+        values = {}
+        for profile in ("baseline", "optimized"):
+            kernel = make_kernel(profile)
+            values[profile] = webserver.run_benchmark(kernel, size,
+                                                      requests=requests)
+        gain = speedup_pct(values["baseline"], values["optimized"])
+        gains[size] = gain
+        report.add_row(size, values["baseline"], values["optimized"],
+                       gain, PAPER_GAINS[size])
+    report.check("optimized wins at every directory size",
+                 all(g > 0 for g in gains.values()),
+                 ", ".join(f"{s}:{g:+.1f}%" for s, g in gains.items()))
+    report.check("gains in the paper's mid-single-digit-to-low-teens band "
+                 "for 10-1000 files",
+                 all(3.0 <= gains[s] <= 18.0
+                     for s in sizes if s <= 1000))
+    report.notes = ("at 10,000 files the per-request working set exceeds "
+                    "the 4096-entry PCC, so our gain narrows; the paper's "
+                    "+10.1% suggests a lighter population cost there — "
+                    "see the PCC-capacity ablation.")
+    return report

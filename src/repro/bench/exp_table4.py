@@ -1,0 +1,86 @@
+"""Table 4: lines of code changed (adoption-cost inventory).
+
+The paper reports ~1,000 LoC of hooks in dcache.c/namei.c, ~2,400 LoC of
+new files, small VFS/LSM touch-ups, and zero low-level file system
+changes.  Reinterpreted for this codebase: we inventory the optimized
+design (repro.core) against the substrate it hooks into (repro.vfs,
+repro.fs), and verify the paper's structural claim — the low-level file
+systems contain no optimized-kernel logic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro.bench.harness import Report
+
+
+def _loc(path: str) -> int:
+    """Source lines (non-blank, non-comment-only), sloccount-style."""
+    count = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        in_doc = False
+        for line in handle:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith(('"""', "'''")):
+                # Toggle docstring state (handles one-line docstrings).
+                if not (in_doc is False and stripped.endswith(('"""', "'''"))
+                        and len(stripped) > 3):
+                    in_doc = not in_doc
+                continue
+            if in_doc or stripped.startswith("#"):
+                continue
+            count += 1
+    return count
+
+
+def _package_loc(root: str) -> Dict[str, int]:
+    out = {}
+    for dirpath, _dirs, files in os.walk(root):
+        for name in sorted(files):
+            if name.endswith(".py"):
+                path = os.path.join(dirpath, name)
+                out[os.path.relpath(path, root)] = _loc(path)
+    return out
+
+
+def run(quick: bool = False) -> Report:
+    """Run the experiment (scale-independent: it inventories the repo)."""
+    import repro
+    src_root = os.path.dirname(os.path.abspath(repro.__file__))
+    report = Report(
+        exp_id="Table 4",
+        title="Lines of code by subsystem (this reproduction)",
+        paper_expectation=("optimizations concentrated in new files + "
+                           "dcache/namei hooks; zero low-level FS "
+                           "changes; minor LSM impact"),
+        headers=["subsystem", "files", "LoC"],
+    )
+    packages = ["core", "vfs", "fs", "sim", "workloads", "bench",
+                "testing"]
+    totals = {}
+    for package in packages:
+        locs = _package_loc(os.path.join(src_root, package))
+        totals[package] = sum(locs.values())
+        report.add_row(f"repro.{package}", len(locs), totals[package])
+
+    # Structural claim: the low-level file systems never import the
+    # optimized-kernel package.
+    fs_dir = os.path.join(src_root, "fs")
+    fs_mentions_core = False
+    for name in os.listdir(fs_dir):
+        if name.endswith(".py"):
+            with open(os.path.join(fs_dir, name), encoding="utf-8") as fh:
+                if "repro.core" in fh.read():
+                    fs_mentions_core = True
+    report.check("low-level file systems contain no optimized-kernel "
+                 "code (paper: FSes unchanged)", not fs_mentions_core)
+    report.check("the optimized design is a bounded fraction of the "
+                 "substrate (paper: ~2.4k new + ~1k hook LoC)",
+                 totals["core"] < totals["vfs"] + totals["fs"],
+                 f"core={totals['core']} vs substrate="
+                 f"{totals['vfs'] + totals['fs']}")
+    return report

@@ -1,0 +1,111 @@
+"""Shared experiment-report plumbing for the benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+@dataclass
+class Check:
+    """One qualitative claim from the paper, verified against our data.
+
+    ``passed`` records whether the *shape* holds (who wins, roughly by
+    what factor) — absolute values are not expected to match a different
+    substrate.
+    """
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class Report:
+    """Result of reproducing one table or figure."""
+
+    exp_id: str
+    title: str
+    paper_expectation: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    checks: List[Check] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        self.rows.append(values)
+
+    def check(self, claim: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(Check(claim, bool(passed), detail))
+
+    @property
+    def all_passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_text(self) -> str:
+        lines = [f"== {self.exp_id}: {self.title}",
+                 f"paper: {self.paper_expectation}"]
+        lines.append(render_table(self.headers, self.rows))
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            detail = f" ({check.detail})" if check.detail else ""
+            lines.append(f"  [{mark}] {check.claim}{detail}")
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.exp_id}: {self.title}", "",
+                 f"**Paper:** {self.paper_expectation}", ""]
+        lines.append("| " + " | ".join(str(h) for h in self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        lines.append("")
+        for check in self.checks:
+            mark = "✅" if check.passed else "❌"
+            detail = f" — {check.detail}" if check.detail else ""
+            lines.append(f"- {mark} {check.claim}{detail}")
+        if self.notes:
+            lines.append(f"\n*Note: {self.notes}*")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: List[Sequence[Any]]) -> str:
+    """Fixed-width text table."""
+    table = [[str(h) for h in headers]] + \
+        [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[col]) for row in table)
+              for col in range(len(headers))]
+    out = []
+    for i, row in enumerate(table):
+        out.append("  ".join(cell.rjust(width)
+                             for cell, width in zip(row, widths)))
+        if i == 0:
+            out.append("  ".join("-" * width for width in widths))
+    return "\n".join(out)
+
+
+def gain_pct(baseline: float, optimized: float) -> float:
+    """Latency gain: positive when optimized is faster."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (1.0 - optimized / baseline)
+
+
+def speedup_pct(baseline: float, optimized: float) -> float:
+    """Throughput gain: positive when optimized is faster."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (optimized / baseline - 1.0)

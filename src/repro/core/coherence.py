@@ -1,0 +1,166 @@
+"""Coherence with permission and path changes (§3.2).
+
+The optimized kernel trades slower mutations for faster lookups: before a
+directory's permissions or position change, every cached descendant gets
+its sequence counter bumped (invalidating all PCC entries that reference
+it, without touching any PCC directly) and is evicted from its direct
+lookup hash table.  A global *invalidation counter* is read before a
+slowpath walk and checked before its results repopulate the caches, so a
+walk that raced a mutation can never re-cache stale state.
+
+Mutation cost therefore becomes linear in the cached subtree size — the
+Figure 7 trade-off — charged here as ``inval_per_dentry``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.dlht import DirectLookupHashTable
+from repro.sim.costs import CostModel
+from repro.sim.stats import Stats
+from repro.vfs.dcache import DcacheHooks
+from repro.vfs.dentry import Dentry
+
+#: Sequence counters are 32-bit in the paper's prototype; wraparound
+#: flushes every PCC and DLHT (§3.1).  Kept small enough to test.
+SEQ_WRAP = 1 << 32
+
+
+class Coherence:
+    """Invalidation engine shared by all optimized-kernel components."""
+
+    def __init__(self, costs: CostModel, stats: Stats):
+        self.costs = costs
+        self.stats = stats
+        #: Global invalidation counter guarding slowpath repopulation.
+        self.counter = 0
+        #: Monotonic dentry version source (reallocation staleness, §3.1).
+        self._version_source = 0
+        #: Every PCC ever created (for wraparound flush).
+        self.pccs: List = []
+        #: Every DLHT ever created (for wraparound flush).
+        self.dlhts: List[DirectLookupHashTable] = []
+        #: id(mountpoint dentry) -> mounted root dentries (a multiset:
+        #: cloned namespaces register the same pair again).  Shootdowns
+        #: descend through mountpoints so a permission change above a
+        #: mount invalidates the memoized prefix checks inside it.
+        self._mounts_on: dict = {}
+
+    # -- mount registry ---------------------------------------------------------
+
+    def register_mount(self, mountpoint: Dentry, root: Dentry) -> None:
+        self._mounts_on.setdefault(id(mountpoint), []).append(root)
+
+    def unregister_mount(self, mountpoint: Dentry, root: Dentry) -> None:
+        roots = self._mounts_on.get(id(mountpoint))
+        if roots and root in roots:
+            roots.remove(root)
+            if not roots:
+                del self._mounts_on[id(mountpoint)]
+
+    # -- counter ---------------------------------------------------------------
+
+    def read_counter(self) -> int:
+        return self.counter
+
+    def bump_counter(self) -> None:
+        self.costs.charge("inval_counter_bump")
+        self.counter += 1
+
+    # -- shootdowns ----------------------------------------------------------------
+
+    def _invalidate_one(self, dentry: Dentry) -> None:
+        self.costs.charge("inval_per_dentry")
+        self.stats.bump("inval_dentry")
+        dentry.seq += 1
+        if dentry.seq >= SEQ_WRAP:
+            self.wraparound_flush()
+        fast = dentry.fast
+        if fast is not None:
+            fast.invalidate()
+            if fast.dlht is not None:
+                fast.dlht.remove(dentry)
+
+    def shootdown_single(self, dentry: Dentry) -> None:
+        """Invalidate one dentry (file chmod/chown, unlink, ...)."""
+        self._invalidate_one(dentry)
+        self.bump_counter()
+
+    def shootdown_subtree(self, dentry: Dentry,
+                          include_self: bool = True) -> None:
+        """Recursively invalidate a dentry and all cached descendants.
+
+        Used before rename/chmod/chown of a directory, mount changes, and
+        symlink retargeting; cost is linear in the *cached* subtree.  The
+        walk descends through mountpoints into the mounted trees — a
+        prefix check memoized for a path that crosses a mount below the
+        changed directory must die too.
+        """
+        visited = set()
+        stack = [dentry] if include_self else \
+            list(dentry.children.values()) + \
+            list(self._mounts_on.get(id(dentry), ()))
+        while stack:
+            current = stack.pop()
+            if id(current) in visited:
+                continue
+            visited.add(id(current))
+            self._invalidate_one(current)
+            stack.extend(current.children.values())
+            stack.extend(self._mounts_on.get(id(current), ()))
+        self.bump_counter()
+
+    # -- wraparound ------------------------------------------------------------------
+
+    def wraparound_flush(self) -> None:
+        """Version wraparound: invalidate every active PCC and DLHT."""
+        self.stats.bump("seq_wraparound_flush")
+        for pcc in self.pccs:
+            pcc.invalidate_all()
+        for dlht in self.dlhts:
+            dlht.flush()
+
+
+class FastDcacheHooks(DcacheHooks):
+    """Keeps the fastpath structures coherent with dcache transitions.
+
+    The kernel sets ``self.dcache`` right after constructing the dcache
+    (the two reference each other).
+    """
+
+    def __init__(self, coherence: Coherence):
+        self.coherence = coherence
+        self.dcache = None
+
+    def _drop_children(self, dentry: Dentry) -> None:
+        if self.dcache is None:
+            return
+        for child in list(dentry.children.values()):
+            self.dcache.d_drop(child)
+
+    def on_evict(self, dentry: Dentry) -> None:
+        self._remove_fast(dentry)
+
+    def on_unhash(self, dentry: Dentry) -> None:
+        self._remove_fast(dentry)
+
+    @staticmethod
+    def _remove_fast(dentry: Dentry) -> None:
+        fast = dentry.fast
+        if fast is not None:
+            fast.invalidate()
+            if fast.dlht is not None:
+                fast.dlht.remove(dentry)
+
+    def on_make_negative(self, dentry: Dentry) -> None:
+        # A positive dentry turning negative keeps its DLHT entry (the
+        # path now resolves to cached nonexistence) but loses children:
+        # any stale stubs, aliases, or ENOTDIR negatives below it
+        # describe paths that no longer mean anything.
+        self._drop_children(dentry)
+
+    def on_make_positive(self, dentry: Dentry) -> None:
+        # §5.2: creating a file over a negative dentry evicts any deep
+        # negative children cached below it.
+        self._drop_children(dentry)

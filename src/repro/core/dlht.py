@@ -1,0 +1,87 @@
+"""The Direct Lookup Hash Table (§3.1).
+
+A system-wide (per mount namespace, §4.3) hash table mapping full-path
+signatures to dentries.  It is lazily populated by slowpath walks and
+pruned by coherence shootdowns; a probe costs one bucket fetch plus a
+constant-size signature compare per chained entry.
+
+Collision semantics follow the paper: chains are searched in insertion
+order and the *first* signature match wins, so if two live paths truncate
+to the same signature the later one simply never enters the table (its
+lookups keep taking the slowpath) — and with very small signatures (test
+configurations) a probe can return the colliding dentry, which is exactly
+the failure mode §3.3's PCC-containment argument is about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.fastdentry import fast_of
+from repro.core.signatures import Signature
+from repro.sim.costs import CostModel
+from repro.sim.stats import Stats
+from repro.vfs.dentry import Dentry
+
+
+class DirectLookupHashTable:
+    """One namespace's signature -> dentry index."""
+
+    def __init__(self, costs: CostModel, stats: Stats):
+        self.costs = costs
+        self.stats = stats
+        self._table: Dict[Tuple[int, int], Dentry] = {}
+
+    @staticmethod
+    def _key(signature: Signature) -> Tuple[int, int]:
+        return (signature.index, signature.bits)
+
+    def probe(self, signature: Signature) -> Optional[Dentry]:
+        """Look up a signature: bucket fetch + signature compare."""
+        self.costs.charge("dlht_probe")
+        self.costs.charge("sig_compare")
+        return self._table.get(self._key(signature))
+
+    def insert(self, dentry: Dentry, signature: Signature) -> bool:
+        """Register ``dentry`` under ``signature``.
+
+        Returns False (leaving the table unchanged) when a *different*
+        dentry already owns the signature — first-wins, as in a chained
+        bucket where lookup stops at the first signature match.  If the
+        dentry is already registered elsewhere (other path or other
+        namespace's table), that registration is dropped first: a dentry
+        is in at most one DLHT under one signature (§4.3).
+        """
+        key = self._key(signature)
+        current = self._table.get(key)
+        if current is dentry:
+            return True
+        if current is not None and not current.dead:
+            return False
+        fast = fast_of(dentry)
+        if fast.dlht is not None:
+            fast.dlht.remove(dentry)
+        self.costs.charge("dlht_insert")
+        self._table[key] = dentry
+        fast.dlht = self
+        fast.dlht_key = key
+        fast.signature = signature
+        return True
+
+    def remove(self, dentry: Dentry) -> None:
+        """Drop a dentry's registration (no-op if absent)."""
+        fast = dentry.fast
+        if fast is None or fast.dlht is not self or fast.dlht_key is None:
+            return
+        if self._table.get(fast.dlht_key) is dentry:
+            del self._table[fast.dlht_key]
+        fast.dlht = None
+        fast.dlht_key = None
+
+    def flush(self) -> None:
+        """Drop every entry (version-counter wraparound handling)."""
+        for dentry in list(self._table.values()):
+            self.remove(dentry)
+
+    def __len__(self) -> int:
+        return len(self._table)

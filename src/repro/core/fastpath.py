@@ -1,0 +1,526 @@
+"""The fastpath lookup engine (§3, §4).
+
+:class:`FastLookup` is the optimized kernel's resolver.  On the way *in*
+it attempts a direct lookup: hash the canonical path (resuming from the
+start dentry's stored state), probe the namespace's DLHT, validate the
+memoized prefix check in the caller's PCC, and — on a hit — finish after
+a constant number of hash-table operations regardless of path depth.  Any
+wrinkle (miss, stale sequence, stub, followed symlink without a cached
+target) falls back to the shared slowpath.
+
+On the way *out* it implements :class:`repro.vfs.walk.WalkHooks`: it rides
+along slowpath walks, accumulating the state needed to repopulate the
+DLHT, the PCC, symlink aliases, and deep negative dentries — and applies
+it only if the global invalidation counter did not move during the walk
+(§3.2's "stale slowpath results are never re-cached" rule).
+
+Population follows the directory-reference rule (§3.2): a relative walk's
+results enter the *PCC* only when the start directory itself has a valid
+root-prefix entry; otherwise the lookup still succeeds (Unix semantics for
+open directory handles and cwd) but is not memoized.  DLHT population is
+credential-independent and always allowed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro import errors
+from repro.core.coherence import Coherence
+from repro.core.fastdentry import fast_of
+from repro.core.negative import extend_negative_chain
+from repro.core.pcc import PrefixCheckCache
+from repro.core.signatures import PathHasher, SigState
+from repro.sim.costs import CostModel
+from repro.sim.stats import Stats
+from repro.vfs import path as vfspath
+from repro.vfs.dcache import Dcache
+from repro.vfs.dentry import NEG_ENOTDIR, Dentry
+from repro.vfs.mount import PathPos
+from repro.vfs.task import Task
+from repro.vfs.walk import SlowWalk, WalkHooks
+
+
+class _WalkCtx:
+    """Per-walk population state (the opaque ctx of WalkHooks)."""
+
+    __slots__ = ("task", "counter_at_start", "pcc_ok", "anchor_state",
+                 "cur_mount", "alias_head", "alias_state", "alias_done",
+                 "saved_link", "pending_dlht", "pending_pcc",
+                 "pending_alias", "pending_linktarget", "pending_deepneg",
+                 "applied")
+
+    def __init__(self, task: Task, counter: int, pcc_ok: bool,
+                 anchor_state: Optional[SigState], cur_mount):
+        self.task = task
+        self.counter_at_start = counter
+        self.pcc_ok = pcc_ok
+        self.anchor_state = anchor_state
+        self.cur_mount = cur_mount
+        self.alias_head: Optional[Dentry] = None
+        self.alias_state: Optional[SigState] = None
+        self.alias_done = False
+        self.saved_link: Optional[Tuple[Dentry, SigState]] = None
+        self.pending_dlht: List[Tuple[Dentry, SigState, object]] = []
+        self.pending_pcc: List[Dentry] = []
+        self.pending_alias: List[Tuple[str, Dentry, SigState, object]] = []
+        self.pending_linktarget: List[Tuple[Dentry, SigState]] = []
+        self.pending_deepneg = None
+        self.applied = False
+
+
+class FastLookup(WalkHooks):
+    """Optimized resolver: fastpath + slowpath population hooks."""
+
+    def __init__(self, costs: CostModel, stats: Stats, config,
+                 dcache: Dcache, hasher: PathHasher, coherence: Coherence,
+                 slow: SlowWalk):
+        self.costs = costs
+        self.stats = stats
+        self.config = config
+        self.dcache = dcache
+        self.hasher = hasher
+        self.coherence = coherence
+        self.slow = slow
+        slow.hooks = self
+        # Hashing already charged by a failed fastpath attempt is reusable
+        # by the population hooks of the fallback slowpath (the hash state
+        # is resumable, §3.1), so those bytes are not charged twice.
+        self._prehashed_components = 0
+        self._prehashed_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Fastpath resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, task: Task, path: str, *, follow_last: bool = True,
+                intent_create: bool = False, create_dir: bool = False,
+                dirfd_pos: Optional[PathPos] = None,
+                count_stats: bool = True) -> PathPos:
+        """Resolve ``path``, trying the fastpath first."""
+        if count_stats:
+            self.stats.bump("lookup")
+        self._prehashed_components = 0
+        self._prehashed_bytes = 0
+        absolute, comps, must_dir = vfspath.split(path)
+        if self.config.lexical_dotdot:
+            comps = vfspath.lexical_normalize(comps)
+        start = task.root if absolute else (dirfd_pos or task.cwd)
+        # The fastpath sets up less state than a full nameidata; the
+        # difference is charged on fallback, where the slowpath completes
+        # the setup.
+        with self.costs.scope("init"):
+            self.costs.charge("fastpath_init")
+        outcome = self._try_fastpath(task, start, comps, path,
+                                     must_dir=must_dir,
+                                     follow_last=follow_last,
+                                     intent_create=intent_create,
+                                     create_dir=create_dir)
+        if outcome is not None:
+            kind, payload = outcome
+            self.stats.bump("fastpath_hit")
+            with self.costs.scope("final"):
+                self.costs.charge("lookup_final")
+            if kind == "raise":
+                raise payload
+            return payload
+        self.stats.bump("fastpath_miss")
+        with self.costs.scope("init"):
+            self.costs.charge("fastpath_init")  # complete the nameidata
+        try:
+            result = self.slow.resolve(task, path, follow_last=follow_last,
+                                       intent_create=intent_create,
+                                       create_dir=create_dir,
+                                       dirfd_pos=dirfd_pos,
+                                       count_stats=False,
+                                       charge_setup=False)
+        finally:
+            self._prehashed_components = 0
+            self._prehashed_bytes = 0
+        with self.costs.scope("final"):
+            self.costs.charge("lookup_final")
+        return result
+
+    def pcc_for(self, cred) -> PrefixCheckCache:
+        """The cred's PCC (created and registered on first use)."""
+        if cred.pcc is None:
+            if self.config.pcc_adaptive:
+                from repro.core.pcc import AdaptivePrefixCheckCache
+                cred.pcc = AdaptivePrefixCheckCache(
+                    self.costs, self.stats, self.config.pcc_capacity,
+                    max_capacity=self.config.pcc_max_capacity)
+            else:
+                cred.pcc = PrefixCheckCache(self.costs, self.stats,
+                                            self.config.pcc_capacity)
+            self.coherence.pccs.append(cred.pcc)
+        return cred.pcc
+
+    def _state_of(self, dentry: Dentry) -> Optional[SigState]:
+        fast = dentry.fast
+        if fast is None:
+            return None
+        return fast.hash_state
+
+    def _extend(self, state: SigState, name: str,
+                prehashed: bool = False) -> SigState:
+        extra = len(name) + (1 if state.length else 0)
+        if not prehashed and self._prehashed_components > 0:
+            # This component's hashing was already charged by the failed
+            # fastpath attempt; resume its state for free.
+            self._prehashed_components -= 1
+            self._prehashed_bytes = max(0, self._prehashed_bytes - extra)
+        else:
+            with self.costs.scope("hash"):
+                self.costs.charge(self.hasher.cost_primitive,
+                                  nbytes=extra)
+        return self.hasher.extend(state, name)
+
+    def _extend_probe(self, state: SigState, name: str) -> SigState:
+        """Hash during a fastpath attempt (reusable on fallback)."""
+        state = self._extend(state, name, prehashed=True)
+        self._prehashed_components += 1
+        self._prehashed_bytes += len(name) + 1
+        return state
+
+    def _try_fastpath(self, task: Task, start: PathPos, comps: List[str],
+                      path_hint: str, *, must_dir: bool, follow_last: bool,
+                      intent_create: bool, create_dir: bool):
+        """Returns ('ok', PathPos), ('raise', FsError), or None (fallback)."""
+        ns = task.ns
+        dlht = ns.dlht
+        if dlht is None:
+            return None
+        if not comps:
+            dentry = start.dentry
+            if dentry.is_negative:
+                return ("raise", errors.ENOENT(path_hint))
+            return ("ok", start)
+        pcc = self.pcc_for(task.cred)
+        cur_pos = start
+        state = self._state_of(start.dentry)
+        if state is None:
+            return None
+        i = 0
+        total = len(comps)
+        while i < total:
+            if comps[i] == "..":
+                # Linux dot-dot semantics: one extra fastpath-validated
+                # hop per parent reference (§4.2).
+                self.costs.charge("dotdot_extra_lookup")
+                cur_pos = ns.cross_down(ns.parent_pos(cur_pos, task.root))
+                state = self._state_of(cur_pos.dentry)
+                if state is None:
+                    return None
+                i += 1
+                if i == total:
+                    dentry = cur_pos.dentry
+                    if dentry.is_negative:
+                        return ("raise", errors.ENOENT(path_hint))
+                    return ("ok", cur_pos)
+                continue
+            j = i
+            while j < total and comps[j] != "..":
+                j += 1
+            seg_state = state
+            for name in comps[i:j]:
+                seg_state = self._extend_probe(seg_state, name)
+            with self.costs.scope("htlookup"):
+                found = dlht.probe(self.hasher.finish(seg_state))
+            if found is None or found.dead:
+                return None
+            if j == total:
+                return self._finish_hit(task, pcc, found, path_hint,
+                                        must_dir=must_dir,
+                                        follow_last=follow_last,
+                                        intent_create=intent_create,
+                                        create_dir=create_dir)
+            # Interior prefix (a ".." follows): must be a plain cached
+            # directory with a valid prefix check.
+            if (found.is_alias or found.is_negative or found.is_stub
+                    or found.is_symlink or not found.is_dir):
+                return None
+            with self.costs.scope("perm"):
+                if not pcc.probe(found):
+                    return None
+            fast = found.fast
+            if fast is None or fast.mount is None:
+                return None
+            cur_pos = PathPos(fast.mount, found)
+            state = seg_state
+            i = j
+        return None  # unreachable
+
+    def _finish_hit(self, task: Task, pcc: PrefixCheckCache, found: Dentry,
+                    path_hint: str, *, must_dir: bool, follow_last: bool,
+                    intent_create: bool, create_dir: bool):
+        result = found
+        if found.is_alias:
+            target = found.alias_target
+            if target is None or target.dead:
+                return None
+            with self.costs.scope("perm"):
+                if not pcc.probe(found) or not pcc.probe(target):
+                    return None
+            result = target
+        elif found.is_stub:
+            return None
+        else:
+            with self.costs.scope("perm"):
+                if not pcc.probe(found):
+                    return None
+        if result.is_symlink and (follow_last or must_dir):
+            resolved = self._follow_cached_link(task, pcc, result)
+            if resolved is None:
+                return None
+            result = resolved
+        if self.config.force_fastpath_miss:
+            # Fig 6 worst case: full fastpath work, forced fallback.
+            return None
+        if result.is_negative:
+            return self._negative_hit(result, path_hint,
+                                      must_dir=must_dir,
+                                      intent_create=intent_create,
+                                      create_dir=create_dir)
+        if must_dir and not result.is_dir:
+            self.stats.bump("negative_hit")
+            return ("raise", errors.ENOTDIR(path_hint))
+        fast = result.fast
+        if fast is None or fast.mount is None:
+            return None
+        with self.costs.scope("final"):
+            self.costs.charge("mount_flag_check")
+        return ("ok", PathPos(fast.mount, result))
+
+    def _follow_cached_link(self, task: Task, pcc: PrefixCheckCache,
+                            link: Dentry) -> Optional[Dentry]:
+        """Resolve a final symlink via its stored target signature (§4.2)."""
+        fast = link.fast
+        if fast is None or fast.link_target_state is None:
+            return None
+        dlht = task.ns.dlht
+        with self.costs.scope("htlookup"):
+            target = dlht.probe(self.hasher.finish(fast.link_target_state))
+        if target is None or target.dead or target.is_alias \
+                or target.is_stub or target.is_symlink:
+            return None
+        with self.costs.scope("perm"):
+            if not pcc.probe(target):
+                return None
+        return target
+
+    def _negative_hit(self, result: Dentry, path_hint: str, *,
+                      must_dir: bool, intent_create: bool,
+                      create_dir: bool):
+        self.stats.bump("negative_hit")
+        if result.neg_kind == NEG_ENOTDIR:
+            return ("raise", errors.ENOTDIR(path_hint))
+        if intent_create:
+            parent = result.parent
+            if parent is None or parent.is_negative or not parent.is_dir:
+                return ("raise", errors.ENOENT(path_hint))
+            if must_dir and not create_dir:
+                return ("raise", errors.ENOENT(path_hint))
+            fast = result.fast
+            if fast is None or fast.mount is None:
+                return None
+            return ("ok", PathPos(fast.mount, result))
+        return ("raise", errors.ENOENT(path_hint))
+
+    # ------------------------------------------------------------------
+    # WalkHooks: slowpath population
+    # ------------------------------------------------------------------
+
+    def begin(self, task: Task, start: PathPos, absolute: bool):
+        ns = task.ns
+        if ns.dlht is None:
+            return None
+        anchor = self._state_of(start.dentry)
+        if anchor is None:
+            anchor = self._recompute_state(task, start)
+        pcc = self.pcc_for(task.cred)
+        if start.dentry is ns.root_mount.root_dentry:
+            pcc_ok = True
+        else:
+            with self.costs.scope("perm"):
+                pcc_ok = pcc.probe(start.dentry)
+        return _WalkCtx(task, self.coherence.counter, pcc_ok, anchor,
+                        start.mount)
+
+    def step(self, ctx, name: str, child: Dentry, result: PathPos) -> None:
+        if ctx is None:
+            return
+        target = result.dentry
+        if ctx.anchor_state is not None:
+            ctx.anchor_state = self._extend(ctx.anchor_state, name)
+            ctx.pending_dlht.append((target, ctx.anchor_state, result.mount))
+        ctx.pending_pcc.append(target)
+        if ctx.alias_head is not None and ctx.alias_state is not None:
+            ctx.alias_state = self._extend(ctx.alias_state, name)
+            ctx.pending_alias.append((name, target, ctx.alias_state,
+                                      result.mount))
+        ctx.cur_mount = result.mount
+
+    def dotdot(self, ctx, result: PathPos) -> None:
+        if ctx is None:
+            return
+        ctx.anchor_state = self._state_of(result.dentry)
+        ctx.alias_head = None
+        ctx.alias_state = None
+        ctx.cur_mount = result.mount
+        ctx.pending_pcc.append(result.dentry)
+
+    def symlink_begin(self, ctx, link: Dentry, absolute_target: bool) -> None:
+        if ctx is None:
+            return
+        ctx.saved_link = None
+        if not ctx.alias_done and ctx.anchor_state is not None:
+            link_state = self._extend(ctx.anchor_state, link.name)
+            ctx.pending_dlht.append((link, link_state, ctx.cur_mount))
+            ctx.pending_pcc.append(link)
+            ctx.saved_link = (link, link_state)
+        ctx.alias_done = True
+        ctx.alias_head = None
+        ctx.alias_state = None
+        if absolute_target:
+            ctx.anchor_state = self.hasher.EMPTY
+            ctx.cur_mount = ctx.task.ns.root_mount
+        # A relative target resolves from the link's parent, where the
+        # anchor already stands.
+
+    def symlink(self, ctx, link: Dentry, target: PathPos) -> None:
+        if ctx is None:
+            return
+        if ctx.saved_link is not None and ctx.saved_link[0] is link:
+            ctx.alias_head = link
+            ctx.alias_state = ctx.saved_link[1]
+            if ctx.anchor_state is not None:
+                ctx.pending_linktarget.append((link, ctx.anchor_state))
+            ctx.saved_link = None
+        ctx.cur_mount = target.mount
+        if ctx.anchor_state is None:
+            ctx.anchor_state = self._state_of(target.dentry)
+
+    def negative_tail(self, ctx, neg: Dentry, remaining: List[str],
+                      kind: str) -> None:
+        if ctx is None:
+            return
+        if ctx.anchor_state is not None and not neg.dead:
+            state = self._extend(ctx.anchor_state, neg.name)
+            ctx.pending_dlht.append((neg, state, ctx.cur_mount))
+            ctx.pending_pcc.append(neg)
+            if self.config.deep_negative and remaining:
+                ctx.pending_deepneg = (neg, list(remaining), kind, state)
+        self._apply(ctx)
+
+    def finish(self, ctx, final: PathPos) -> None:
+        if ctx is None:
+            return
+        self._apply(ctx)
+
+    # -- deferred application (guarded by the invalidation counter) ---------
+
+    @staticmethod
+    def _on_revalidating_sb(dentry: Dentry) -> bool:
+        """True when the dentry's superblock forbids direct lookup (§4.3:
+        stateless network file systems revalidate every component, so
+        caching their paths in the DLHT/PCC would serve stale answers)."""
+        node = dentry
+        while node is not None:
+            if node.inode is not None:
+                return node.inode.fs.requires_revalidation
+            node = node.parent
+        return False
+
+    def _apply(self, ctx: "_WalkCtx") -> None:
+        if ctx.applied:
+            return
+        ctx.applied = True
+        if self.coherence.counter != ctx.counter_at_start:
+            self.stats.bump("populate_abort")
+            return
+        dlht = ctx.task.ns.dlht
+        for dentry, state, mount in ctx.pending_dlht:
+            if dentry.dead or self._on_revalidating_sb(dentry):
+                continue
+            fast = fast_of(dentry)
+            fast.hash_state = state
+            fast.mount = mount
+            dlht.insert(dentry, self.hasher.finish(state))
+        for link, tstate in ctx.pending_linktarget:
+            if not link.dead and not self._on_revalidating_sb(link):
+                fast_of(link).link_target_state = tstate
+        pcc = self.pcc_for(ctx.task.cred) if ctx.pcc_ok else None
+        self._apply_aliases(ctx, dlht, pcc)
+        self._apply_deep_negatives(ctx, dlht, pcc)
+        if pcc is not None:
+            for dentry in ctx.pending_pcc:
+                if not dentry.dead and not self._on_revalidating_sb(dentry):
+                    pcc.insert(dentry)
+
+    def _apply_aliases(self, ctx, dlht, pcc) -> None:
+        cur = ctx.alias_head
+        if cur is None or self._on_revalidating_sb(cur):
+            return
+        for name, target, state, mount in ctx.pending_alias:
+            if cur.dead or target.dead:
+                return
+            child = cur.children.get(name)
+            if child is None:
+                child = self.dcache.d_alloc_alias(cur, name, target)
+            elif child.is_alias:
+                child.alias_target = target
+            else:
+                return
+            fast = fast_of(child)
+            fast.hash_state = state
+            fast.mount = mount
+            dlht.insert(child, self.hasher.finish(state))
+            if pcc is not None:
+                pcc.insert(child)
+            cur = child
+
+    def _apply_deep_negatives(self, ctx, dlht, pcc) -> None:
+        if ctx.pending_deepneg is None or not self.config.deep_negative:
+            return
+        neg, remaining, kind, state = ctx.pending_deepneg
+        if neg.dead or self._on_revalidating_sb(neg):
+            return
+        chain = extend_negative_chain(self.dcache, neg, remaining, kind)
+        for child in chain:
+            state = self._extend(state, child.name)
+            fast = fast_of(child)
+            fast.hash_state = state
+            fast.mount = ctx.cur_mount
+            dlht.insert(child, self.hasher.finish(state))
+            if pcc is not None:
+                pcc.insert(child)
+        self.stats.bump("deep_negative_chain")
+
+    # -- canonical-path state recomputation -----------------------------------
+
+    def _recompute_state(self, task: Task,
+                         pos: PathPos) -> Optional[SigState]:
+        """Rebuild a dentry's canonical-path hash state from the tree."""
+        ns = task.ns
+        names: List[str] = []
+        cur = pos
+        for _ in range(vfspath.PATH_MAX):
+            if (cur.mount is ns.root_mount
+                    and cur.dentry is ns.root_mount.root_dentry):
+                break
+            if cur.dentry is cur.mount.root_dentry:
+                if cur.mount.parent is None:
+                    break
+                cur = PathPos(cur.mount.parent, cur.mount.mountpoint)
+                continue
+            if cur.dentry.parent is None:
+                return None
+            names.append(cur.dentry.name)
+            cur = PathPos(cur.mount, cur.dentry.parent)
+        state = self.hasher.EMPTY
+        for name in reversed(names):
+            state = self._extend(state, name)
+        fast = fast_of(pos.dentry)
+        fast.hash_state = state
+        fast.mount = pos.mount
+        return state

@@ -1,0 +1,59 @@
+"""Aggressive negative caching helpers (§5.2).
+
+Three policies from the paper live here and in the call sites that use
+them:
+
+1. *Renaming and deletion*: ``unlink``/``rename`` leave a negative dentry
+   at the old path even when the file is still in use (the VFS syscall
+   layer calls :func:`negative_after_removal`).
+2. *Pseudo file systems*: with ``aggressive_negative`` the slow walk
+   caches negatives on pseudo file systems too (gated in
+   :meth:`repro.vfs.walk.SlowWalk._miss`).
+3. *Deep negative dentries*: when a walk fails mid-path, the remaining
+   components are cached as a chain of negative children — including
+   ENOTDIR children under regular files — so the full-path fastpath can
+   answer repeated failing lookups (:func:`extend_negative_chain`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.vfs.dcache import Dcache
+from repro.vfs.dentry import NEG_ENOENT, NEG_ENOTDIR, Dentry
+
+
+def extend_negative_chain(dcache: Dcache, anchor: Dentry,
+                          remaining: List[str], kind: str) -> List[Dentry]:
+    """Create deep negative children below ``anchor`` for ``remaining``.
+
+    ``anchor`` is either a negative dentry (ENOENT chains) or a positive
+    non-directory dentry (ENOTDIR chains).  Existing children are reused.
+    Returns the chain of dentries (excluding the anchor), deepest last.
+    """
+    chain_kind = NEG_ENOTDIR if kind == NEG_ENOTDIR else NEG_ENOENT
+    chain: List[Dentry] = []
+    cur = anchor
+    for name in remaining:
+        child = cur.children.get(name)
+        if child is None:
+            child = dcache.d_alloc(cur, name, None)
+        child.neg_kind = chain_kind
+        chain.append(child)
+        cur = child
+    return chain
+
+
+def negative_after_removal(dcache: Dcache, parent: Dentry,
+                           name: str) -> Dentry:
+    """Ensure a negative dentry caches the removal of ``parent/name``.
+
+    Used by rename (old path) and by unlink of in-use files, where the
+    original dentry object must stay with its open handles and a fresh
+    negative takes over the path.
+    """
+    existing = parent.children.get(name)
+    if existing is not None:
+        dcache.make_negative(existing)
+        return existing
+    return dcache.d_alloc(parent, name, None)

@@ -1,0 +1,121 @@
+"""The Prefix Check Cache (§3.1, §4.1).
+
+Each committed credential owns a PCC: a bounded LRU memo of dentries whose
+prefix check (search permission from the task's root to the dentry,
+including any LSM decision) this credential has recently passed.  Entries
+record the dentry's sequence number at check time; any permission or
+topology change along the path bumps the sequence (see
+:mod:`repro.core.coherence`), so stale entries fail validation and the
+lookup falls back to the slowpath.
+
+The paper sizes the PCC at 64 KB with 16-byte entries; the default
+capacity of 4096 entries matches that, and the benchmark for PCC
+working-set sensitivity (§6.1: updatedb's gain drops from 29% to 16.5%
+when the tree outgrows the PCC) sweeps this knob.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.sim.costs import CostModel
+from repro.sim.stats import Stats
+from repro.vfs.cred import Cred
+from repro.vfs.dentry import Dentry
+
+#: Paper's configuration: 64 KB of 16-byte entries.
+DEFAULT_CAPACITY = 64 * 1024 // 16
+
+
+class PrefixCheckCache:
+    """One credential's memoized prefix checks."""
+
+    def __init__(self, costs: CostModel, stats: Stats,
+                 capacity: int = DEFAULT_CAPACITY):
+        self.costs = costs
+        self.stats = stats
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, tuple]" = OrderedDict()
+
+    def probe(self, dentry: Dentry) -> bool:
+        """True when a valid (seq-current) prefix check is cached."""
+        self.costs.charge("pcc_probe")
+        entry = self._entries.get(id(dentry))
+        if entry is None:
+            self.stats.bump("pcc_miss")
+            return False
+        cached_dentry, cached_seq = entry
+        if cached_dentry is not dentry or dentry.dead:
+            self.stats.bump("pcc_stale")
+            del self._entries[id(dentry)]
+            return False
+        if cached_seq != dentry.seq:
+            self.stats.bump("pcc_stale")
+            del self._entries[id(dentry)]
+            return False
+        self._entries.move_to_end(id(dentry))
+        self.stats.bump("pcc_hit")
+        return True
+
+    def insert(self, dentry: Dentry) -> None:
+        """Memoize that this cred passed the prefix check to ``dentry``."""
+        self.costs.charge("pcc_insert")
+        self._entries[id(dentry)] = (dentry, dentry.seq)
+        self._entries.move_to_end(id(dentry))
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate_all(self) -> None:
+        """Flush (sequence-counter wraparound handling, §3.1)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class AdaptivePrefixCheckCache(PrefixCheckCache):
+    """A PCC that grows with its working set (the paper's future work).
+
+    §6.1: "We expect that a production system would dynamically resize
+    the PCC up to a maximum working set; we leave investigating an
+    appropriate policy ... for future work."  The policy here is simple
+    and conservative: when the cache is full and has missed more than
+    half its capacity since the last resize — the signature of a working
+    set larger than the cache — double the capacity, up to a hard cap.
+    """
+
+    def __init__(self, costs: CostModel, stats: Stats,
+                 capacity: int = DEFAULT_CAPACITY,
+                 max_capacity: int = 16 * DEFAULT_CAPACITY):
+        super().__init__(costs, stats, capacity)
+        self.max_capacity = max_capacity
+        self._misses_since_resize = 0
+
+    def probe(self, dentry: Dentry) -> bool:
+        hit = super().probe(dentry)
+        if not hit:
+            self._misses_since_resize += 1
+            self._maybe_grow()
+        return hit
+
+    def _maybe_grow(self) -> None:
+        if (len(self._entries) >= self.capacity
+                and self._misses_since_resize > self.capacity // 2
+                and self.capacity < self.max_capacity):
+            self.capacity = min(self.capacity * 2, self.max_capacity)
+            self._misses_since_resize = 0
+            self.stats.bump("pcc_grow")
+
+
+def pcc_of(cred: Cred, costs: CostModel, stats: Stats,
+           capacity: int = DEFAULT_CAPACITY) -> PrefixCheckCache:
+    """Get (allocating on first use) the PCC attached to a credential."""
+    if cred.pcc is None:
+        cred.pcc = PrefixCheckCache(costs, stats, capacity)
+    return cred.pcc
+
+
+def peek_pcc(cred: Cred) -> Optional[PrefixCheckCache]:
+    """The cred's PCC if one has been allocated (no allocation)."""
+    return cred.pcc

@@ -1,0 +1,35 @@
+"""Low-level file system substrate.
+
+The VFS (and both dcache designs) sit on top of a pluggable low-level file
+system, mirroring the paper's setting where the dcache changes are
+"encapsulated in the VFS — individual file systems do not have to change
+their code" (§6.4).  Three file systems ship with the reproduction:
+
+* :class:`~repro.fs.simext.SimExtFs` — an ext2-like on-disk FS over a
+  simulated block device with a buffer cache; misses and ``readdir`` have
+  realistic block-access costs.
+* :class:`~repro.fs.tmpfs.TmpFs` — RAM-backed, CPU cost only.
+* :class:`~repro.fs.pseudofs.PseudoFs` — a procfs-like synthetic FS, which
+  (as in Linux) does not create negative dentries under the baseline
+  kernel (§5.2).
+"""
+
+from repro.fs.disk import BlockDevice
+from repro.fs.pagecache import PageCache
+from repro.fs.simext import SimExtFs
+from repro.fs.tmpfs import TmpFs
+from repro.fs.pseudofs import PseudoFs
+from repro.fs.base import FileSystem, NodeInfo, DT_REG, DT_DIR, DT_LNK
+
+__all__ = [
+    "BlockDevice",
+    "PageCache",
+    "SimExtFs",
+    "TmpFs",
+    "PseudoFs",
+    "FileSystem",
+    "NodeInfo",
+    "DT_REG",
+    "DT_DIR",
+    "DT_LNK",
+]

@@ -1,0 +1,220 @@
+"""Network file systems (§4.3).
+
+The paper's prototype "does not support direct lookup on network file
+systems, such as NFS versions 2 and 3": close-to-open consistency on a
+stateless protocol forces the client to revalidate every path component
+at the server, nullifying any hit-path benefit.  A stateful protocol
+with change callbacks (AFS, NFS 4.1) keeps the fastpath viable.
+
+Two client file systems model the dichotomy over a shared
+:class:`ExportServer`:
+
+* :class:`NfsLikeFs` — stateless: ``requires_revalidation`` is True, so
+  the VFS revalidates each cached component (one RTT each) and the
+  optimized kernel refuses to register its dentries in the DLHT.
+* :class:`AfsLikeFs` — stateful: the server records which directories a
+  client has cached and *breaks callbacks* on mutation; cached entries
+  are trusted between callbacks, so the fastpath works.  Server-side
+  mutations (another client writing) invalidate through the callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.fs.base import FileSystem, NodeInfo
+from repro.fs.tmpfs import TmpFs
+from repro.sim.costs import CostModel
+
+#: Default LAN round trip (client<->server), in virtual ns.
+DEFAULT_RTT_NS = 180_000.0
+
+
+class ExportServer:
+    """The server side: a directory tree plus callback bookkeeping."""
+
+    def __init__(self, costs: CostModel, rtt_ns: float = DEFAULT_RTT_NS):
+        self.costs = costs
+        self.rtt_ns = rtt_ns
+        self.backing = TmpFs(costs)
+        #: Callback-broken notifications: (dir_ino, name) pairs.
+        self._callback: Optional[Callable[[int, str], None]] = None
+        self.rpc_count = 0
+
+    def rpc(self) -> None:
+        """Charge one client<->server round trip."""
+        self.rpc_count += 1
+        self.costs.charge_ns("net_rpc", self.rtt_ns)
+
+    def set_callback(self, handler: Callable[[int, str], None]) -> None:
+        """AFS-style: the client registers for change notifications."""
+        self._callback = handler
+
+    # -- server-side mutations (another client / local process) ------------
+
+    def server_create(self, dir_ino: int, name: str,
+                      content: bytes = b"") -> NodeInfo:
+        info = self.backing.create(dir_ino, name, 0o644, 0, 0)
+        if content:
+            self.backing.write(info.ino, 0, content)
+        self._notify(dir_ino, name)
+        return self.backing.getattr(info.ino)
+
+    def server_unlink(self, dir_ino: int, name: str) -> None:
+        self.backing.unlink(dir_ino, name)
+        self._notify(dir_ino, name)
+
+    def server_chmod(self, ino: int, mode: int) -> None:
+        self.backing.setattr(ino, mode=mode)
+        # Attribute changes notify with an empty name: "this inode".
+        self._notify(ino, "")
+
+    def _notify(self, dir_ino: int, name: str) -> None:
+        if self._callback is not None:
+            self._callback(dir_ino, name)
+
+
+class _NetFsBase(FileSystem):
+    """Shared client plumbing: delegate to the server over RPCs."""
+
+    def __init__(self, server: ExportServer):
+        self.server = server
+        self.costs = server.costs
+
+    @property
+    def root_ino(self) -> int:  # type: ignore[override]
+        return self.server.backing.root_ino
+
+    def _remote(self) -> TmpFs:
+        self.server.rpc()
+        return self.server.backing
+
+    # Reads ---------------------------------------------------------------
+
+    def getattr(self, ino: int) -> NodeInfo:
+        return self._remote().getattr(ino)
+
+    def peek(self, ino: int) -> NodeInfo:
+        # The client's own mutation already refreshed its cached attrs.
+        return self.server.backing.getattr(ino)
+
+    def lookup(self, dir_ino: int, name: str) -> Optional[NodeInfo]:
+        self.costs.charge("fs_lookup_base")
+        return self._remote().lookup(dir_ino, name)
+
+    def readdir(self, dir_ino: int) -> Iterator[Tuple[str, int, str]]:
+        return self._remote().readdir(dir_ino)
+
+    def read(self, ino: int, offset: int, length: int) -> bytes:
+        return self._remote().read(ino, offset, length)
+
+    # Mutations -------------------------------------------------------------
+
+    def create(self, dir_ino, name, mode, uid, gid) -> NodeInfo:
+        return self._remote().create(dir_ino, name, mode, uid, gid)
+
+    def mkdir(self, dir_ino, name, mode, uid, gid) -> NodeInfo:
+        return self._remote().mkdir(dir_ino, name, mode, uid, gid)
+
+    def symlink(self, dir_ino, name, target, uid, gid) -> NodeInfo:
+        return self._remote().symlink(dir_ino, name, target, uid, gid)
+
+    def link(self, dir_ino, name, target_ino) -> NodeInfo:
+        return self._remote().link(dir_ino, name, target_ino)
+
+    def unlink(self, dir_ino, name) -> None:
+        self._remote().unlink(dir_ino, name)
+
+    def rmdir(self, dir_ino, name) -> None:
+        self._remote().rmdir(dir_ino, name)
+
+    def rename(self, old_dir, old_name, new_dir, new_name) -> None:
+        self._remote().rename(old_dir, old_name, new_dir, new_name)
+
+    def setattr(self, ino, mode=None, uid=None, gid=None,
+                size=None, mtime_ns=None) -> NodeInfo:
+        return self._remote().setattr(ino, mode=mode, uid=uid, gid=gid,
+                                      size=size, mtime_ns=mtime_ns)
+
+    def statfs(self):
+        self.server.rpc()
+        return self.server.backing.statfs()
+
+    def write(self, ino, offset, data) -> int:
+        return self._remote().write(ino, offset, data)
+
+    def getxattr(self, ino, name) -> bytes:
+        return self._remote().getxattr(ino, name)
+
+    def setxattr(self, ino, name, value) -> None:
+        self._remote().setxattr(ino, name, value)
+
+    def listxattr(self, ino) -> list:
+        return self._remote().listxattr(ino)
+
+    def removexattr(self, ino, name) -> None:
+        self._remote().removexattr(ino, name)
+
+
+class NfsLikeFs(_NetFsBase):
+    """Stateless NFSv2/3-style client: revalidate everything, always."""
+
+    fstype = "nfs-like"
+    baseline_negative_dentries = True
+    # Other clients mutate the export outside this client's sight.
+    supports_completeness = False
+    #: The VFS revalidates every cached component at the server, and the
+    #: optimized kernel keeps this superblock's dentries out of the DLHT.
+    requires_revalidation = True
+
+    def revalidate(self, dir_ino: int, name: str,
+                   cached_ino: Optional[int]) -> Optional[NodeInfo]:
+        """One-RTT component revalidation; returns the current entry."""
+        self.costs.charge("fs_lookup_base")
+        return self._remote().lookup(dir_ino, name)
+
+
+class AfsLikeFs(_NetFsBase):
+    """Stateful AFS/NFS4.1-style client: callbacks instead of polling."""
+
+    fstype = "afs-like"
+    baseline_negative_dentries = True
+    requires_revalidation = False
+    # Callback breaks cover entries the client has cached, but a
+    # completeness claim ("nothing else exists") cannot be kept coherent
+    # for entries it has never seen; opt out.
+    supports_completeness = False
+
+
+def attach_callback_invalidation(kernel, fs: AfsLikeFs) -> None:
+    """Wire server callbacks into the client kernel's coherence engine.
+
+    When the server notifies a change under ``(dir_ino, name)``, every
+    cached dentry of that inode is shot down (and dropped, so the next
+    lookup refetches) — the AFS "callback break".
+    """
+
+    def on_change(dir_ino: int, name: str) -> None:
+        table = kernel.dcache.inode_table(fs)
+        roots = [kernel.dcache._roots.get(id(fs))]
+        for root in roots:
+            if root is None:
+                continue
+            victims = []
+            for dentry in root.descendants():
+                if name and dentry.name == name and dentry.parent and \
+                        dentry.parent.inode is not None and \
+                        dentry.parent.inode.ino == dir_ino:
+                    victims.append(dentry)
+                elif not name and dentry.inode is not None and \
+                        dentry.inode.ino == dir_ino:
+                    victims.append(dentry)
+            for dentry in victims:
+                if kernel.fast is not None:
+                    kernel.coherence.shootdown_subtree(dentry)
+                kernel.dcache.d_drop(dentry)
+        inode = table.get(dir_ino)
+        if inode is not None and not name:
+            inode.apply(fs.getattr(dir_ino))
+
+    fs.server.set_callback(on_change)

@@ -1,0 +1,183 @@
+"""PseudoFs: a procfs-like synthetic file system.
+
+Entries are generated on demand from registered providers rather than
+stored.  Like Linux's proc/sys/dev, the *baseline* kernel does not create
+negative dentries for misses here (``baseline_negative_dentries`` is
+False); the optimized kernel caches negatives anyway because its fastpath
+hit is much cheaper than regenerating the entry (§5.2).
+
+A provider owns a directory subtree: it maps names to
+``(mode, content)`` pairs and may change over time (e.g. a "pid" provider
+adding/removing process directories), which exercises revalidation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro import errors
+from repro.fs import base
+from repro.fs.base import FileSystem, NodeInfo
+from repro.sim.costs import CostModel
+
+#: A provider returns the current listing of a pseudo directory:
+#: name -> (mode, content-or-None-for-subdir).
+Provider = Callable[[], Dict[str, Tuple[int, Optional[str]]]]
+
+
+class PseudoFs(FileSystem):
+    """Synthetic file system with generated entries."""
+
+    fstype = "proc"
+    baseline_negative_dentries = False
+    # Providers mutate listings outside the VFS's sight.
+    supports_completeness = False
+
+    def __init__(self, costs: CostModel):
+        self.costs = costs
+        # Directory ino -> provider; static entries live in _static.
+        self._providers: Dict[int, Provider] = {}
+        self._static: Dict[int, Dict[str, Tuple[int, Optional[str]]]] = {1: {}}
+        self._modes: Dict[int, int] = {1: base.S_IFDIR | 0o555}
+        self._parents: Dict[int, int] = {}
+        # (dir_ino, name) -> stable child ino, so repeated lookups of a
+        # generated entry keep the same identity.
+        self._name_inos: Dict[Tuple[int, str], int] = {}
+        self._next_ino = 2
+
+    # -- construction API -----------------------------------------------------
+
+    def add_static_dir(self, parent_ino: int, name: str,
+                       mode: int = 0o555) -> int:
+        """Register a permanent subdirectory; returns its inode number."""
+        ino = self._next_ino
+        self._next_ino += 1
+        self._static.setdefault(parent_ino, {})[name] = (base.S_IFDIR | mode, None)
+        self._static[ino] = {}
+        self._modes[ino] = base.S_IFDIR | mode
+        self._parents[ino] = parent_ino
+        self._name_inos[(parent_ino, name)] = ino
+        return ino
+
+    def add_static_file(self, parent_ino: int, name: str, content: str = "",
+                        mode: int = 0o444) -> int:
+        """Register a permanent file; returns its inode number."""
+        ino = self._next_ino
+        self._next_ino += 1
+        self._static.setdefault(parent_ino, {})[name] = (base.S_IFREG | mode,
+                                                         content)
+        self._modes[ino] = base.S_IFREG | mode
+        self._parents[ino] = parent_ino
+        self._name_inos[(parent_ino, name)] = ino
+        return ino
+
+    def set_provider(self, dir_ino: int, provider: Provider) -> None:
+        """Attach a dynamic listing provider to directory ``dir_ino``."""
+        self._providers[dir_ino] = provider
+
+    # -- internals -------------------------------------------------------------
+
+    def _listing(self, dir_ino: int) -> Dict[str, Tuple[int, Optional[str]]]:
+        if dir_ino not in self._modes or not self._is_dir(dir_ino):
+            raise errors.ENOTDIR(message=f"pseudo inode {dir_ino}")
+        merged = dict(self._static.get(dir_ino, {}))
+        provider = self._providers.get(dir_ino)
+        if provider is not None:
+            merged.update(provider())
+        return merged
+
+    def _is_dir(self, ino: int) -> bool:
+        return (self._modes.get(ino, 0) & base.S_IFMT) == base.S_IFDIR
+
+    def _child_ino(self, dir_ino: int, name: str, mode: int) -> int:
+        key = (dir_ino, name)
+        ino = self._name_inos.get(key)
+        if ino is None:
+            ino = self._next_ino
+            self._next_ino += 1
+            self._name_inos[key] = ino
+            self._parents[ino] = dir_ino
+        self._modes[ino] = mode
+        if self._is_dir(ino) and ino not in self._static:
+            self._static[ino] = {}
+        return ino
+
+    def _content_of(self, ino: int) -> str:
+        parent = self._parents.get(ino)
+        if parent is None:
+            return ""
+        for name, child_ino in self._name_inos.items():
+            if child_ino == ino and name[0] == parent:
+                entry = self._listing(parent).get(name[1])
+                return entry[1] or "" if entry else ""
+        return ""
+
+    # -- FileSystem API ----------------------------------------------------------
+
+    def peek(self, ino: int) -> NodeInfo:
+        return self.getattr(ino)
+
+    def getattr(self, ino: int) -> NodeInfo:
+        mode = self._modes.get(ino)
+        if mode is None:
+            raise errors.ENOENT(message=f"stale pseudo inode {ino}")
+        content = "" if self._is_dir(ino) else self._content_of(ino)
+        return NodeInfo(ino=ino, mode=mode, uid=0, gid=0, nlink=1,
+                        size=len(content))
+
+    def lookup(self, dir_ino: int, name: str) -> Optional[NodeInfo]:
+        self.costs.charge("fs_lookup_base")
+        self.costs.charge("pseudo_generate")
+        entry = self._listing(dir_ino).get(name)
+        if entry is None:
+            return None
+        mode, content = entry
+        ino = self._child_ino(dir_ino, name, mode)
+        return NodeInfo(ino=ino, mode=mode, uid=0, gid=0, nlink=1,
+                        size=len(content or ""))
+
+    def readdir(self, dir_ino: int) -> Iterator[Tuple[str, int, str]]:
+        for name, (mode, _content) in self._listing(dir_ino).items():
+            self.costs.charge("pseudo_generate")
+            ino = self._child_ino(dir_ino, name, mode)
+            yield name, ino, base.mode_filetype(mode)
+
+    def read(self, ino: int, offset: int, length: int) -> bytes:
+        self.costs.charge("pseudo_generate")
+        content = self._content_of(ino).encode()
+        data = content[offset:offset + length]
+        self.costs.charge("read_write_base", nbytes=len(data))
+        return data
+
+    # -- mutations: pseudo file systems are read-only here -------------------------
+
+    def _readonly(self) -> "errors.FsError":
+        return errors.EPERM(message=f"{self.fstype} is read-only")
+
+    def create(self, dir_ino, name, mode, uid, gid) -> NodeInfo:
+        raise self._readonly()
+
+    def mkdir(self, dir_ino, name, mode, uid, gid) -> NodeInfo:
+        raise self._readonly()
+
+    def symlink(self, dir_ino, name, target, uid, gid) -> NodeInfo:
+        raise self._readonly()
+
+    def link(self, dir_ino, name, target_ino) -> NodeInfo:
+        raise self._readonly()
+
+    def unlink(self, dir_ino, name) -> None:
+        raise self._readonly()
+
+    def rmdir(self, dir_ino, name) -> None:
+        raise self._readonly()
+
+    def rename(self, old_dir, old_name, new_dir, new_name) -> None:
+        raise self._readonly()
+
+    def setattr(self, ino, mode=None, uid=None, gid=None,
+                size=None, mtime_ns=None) -> NodeInfo:
+        raise self._readonly()
+
+    def write(self, ino, offset, data) -> int:
+        raise self._readonly()

@@ -1,0 +1,52 @@
+"""Virtual nanosecond clock.
+
+All latency in the simulator is virtual time accumulated on a
+:class:`Clock`.  The clock is monotonic and deterministic: the same
+sequence of operations always produces the same elapsed time, which is what
+lets the benchmark harness reproduce the *shape* of the paper's latency
+figures without real hardware.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Monotonic virtual clock measured in nanoseconds."""
+
+    __slots__ = ("_now_ns",)
+
+    def __init__(self) -> None:
+        self._now_ns = 0
+
+    @property
+    def now_ns(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now_ns
+
+    def advance(self, ns: float) -> None:
+        """Advance the clock by ``ns`` nanoseconds (must be >= 0)."""
+        if ns < 0:
+            raise ValueError(f"clock cannot run backwards ({ns} ns)")
+        self._now_ns += ns
+
+    def elapsed_since(self, start_ns: float) -> float:
+        """Nanoseconds elapsed since ``start_ns`` (a prior ``now_ns``)."""
+        return self._now_ns - start_ns
+
+
+class Stopwatch:
+    """Context manager measuring virtual time spent inside a block."""
+
+    __slots__ = ("_clock", "_start", "elapsed_ns")
+
+    def __init__(self, clock: Clock):
+        self._clock = clock
+        self._start = 0.0
+        self.elapsed_ns = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = self._clock.now_ns
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed_ns = self._clock.elapsed_since(self._start)

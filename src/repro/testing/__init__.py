@@ -1,0 +1,13 @@
+"""Differential-testing utilities.
+
+The paper's §4 is a compatibility argument: the optimized dcache must be
+observationally equivalent to the baseline for every POSIX behaviour.
+:class:`~repro.testing.dual.DualKernel` drives a baseline kernel and an
+optimized kernel with identical syscall sequences and asserts that every
+result — return values, errnos, listings, metadata — matches.  The
+hypothesis-based property tests build random programs on top of it.
+"""
+
+from repro.testing.dual import DualKernel, Mismatch
+
+__all__ = ["DualKernel", "Mismatch"]

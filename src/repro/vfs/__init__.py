@@ -1,0 +1,18 @@
+"""The virtual file system layer.
+
+This package is the substrate the paper's contribution plugs into: VFS
+inodes and dentries, the baseline Linux-style dcache (hash table keyed by
+(parent, name), component-at-a-time prefix checking, negative dentries,
+LRU), mounts and mount namespaces, credentials with LSM hooks, open file
+descriptions, and the syscall facade.
+
+The optimized structures (DLHT, PCC, signatures, completeness, deep
+negatives) live in :mod:`repro.core` and attach to these objects through
+the ``fast`` extension points, mirroring how the paper's patch hooks into
+``dcache.c``/``namei.c`` without changing low-level file systems.
+"""
+
+from repro.vfs.cred import Cred
+from repro.vfs.task import Task
+
+__all__ = ["Cred", "Task"]

@@ -1,0 +1,76 @@
+"""Credentials: the copy-on-write ``struct cred`` analog (§4.1).
+
+A :class:`Cred` is immutable once committed to a task.  Changing identity
+(setuid, SELinux role change) goes through :func:`prepare_creds` (copy)
+and :func:`commit_creds`; as in the paper's prototype, committing a copy
+whose contents did not change *reuses the old object*, so the per-cred
+prefix check cache keeps being shared across children that never actually
+changed identity.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+
+class Cred:
+    """Immutable process credentials.
+
+    Attributes:
+        uid / gid: effective identity.
+        groups: supplementary groups.
+        security: opaque LSM label (e.g. an SELinux-like domain).
+        pcc: attached prefix-check cache (optimized kernel only); set by
+            the kernel when the cred is first used for a lookup.
+    """
+
+    __slots__ = ("uid", "gid", "groups", "security", "pcc", "_committed")
+
+    def __init__(self, uid: int, gid: int,
+                 groups: Optional[FrozenSet[int]] = None,
+                 security: Optional[str] = None):
+        self.uid = uid
+        self.gid = gid
+        self.groups = frozenset(groups or ())
+        self.security = security
+        self.pcc = None
+        self._committed = False
+
+    # -- value semantics ----------------------------------------------------
+
+    def same_identity(self, other: "Cred") -> bool:
+        """True when both creds grant exactly the same permissions."""
+        return (self.uid == other.uid and self.gid == other.gid
+                and self.groups == other.groups
+                and self.security == other.security)
+
+    @property
+    def is_root(self) -> bool:
+        return self.uid == 0
+
+    def in_group(self, gid: int) -> bool:
+        return gid == self.gid or gid in self.groups
+
+    def __repr__(self) -> str:
+        sec = f" sec={self.security}" if self.security else ""
+        return f"Cred(uid={self.uid} gid={self.gid}{sec})"
+
+
+def prepare_creds(old: Cred) -> Cred:
+    """Copy a cred for modification (Linux ``prepare_creds``)."""
+    new = Cred(old.uid, old.gid, old.groups, old.security)
+    return new
+
+
+def commit_creds(old: Cred, new: Cred) -> Cred:
+    """Commit ``new`` as the task's creds.
+
+    Mirrors the paper's PCC-sharing fix: if the prepared copy ended up
+    identical to the old cred, the old (committed, PCC-carrying) object is
+    reused so the prefix check cache keeps warming across fork/exec chains
+    that never change identity (§4.1).
+    """
+    if new.same_identity(old):
+        return old
+    new._committed = True
+    return new

@@ -1,0 +1,67 @@
+"""Mounts: vfsmount analogs, mount flags, bind mounts, crossing logic.
+
+A resolution position in the VFS is a ``(mount, dentry)`` pair
+(:class:`PathPos`), exactly like Linux's ``struct path`` — the same dentry
+can be visible through several mounts (bind mounts, multiply-mounted
+pseudo file systems), which is what makes the paper's mount-alias handling
+(§4.3) non-trivial.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, NamedTuple, Optional
+
+from repro.fs.base import FileSystem
+from repro.vfs.dentry import Dentry
+
+#: Supported mount flags.
+MNT_RDONLY = "ro"
+MNT_NOSUID = "nosuid"
+MNT_NOEXEC = "noexec"
+
+_mount_ids = itertools.count(1)
+
+
+class Mount:
+    """One mounted instance of a file system.
+
+    Attributes:
+        fs: the low-level file system (shared between bind mounts).
+        root_dentry: dentry of this mount's root directory.  For a bind
+            mount this is an interior dentry of the bound superblock.
+        parent: enclosing mount, or ``None`` for a namespace root.
+        mountpoint: dentry in ``parent`` this mount covers.
+        flags: frozenset of MNT_* strings.
+    """
+
+    __slots__ = ("id", "fs", "root_dentry", "parent", "mountpoint", "flags")
+
+    def __init__(self, fs: FileSystem, root_dentry: Dentry,
+                 parent: Optional["Mount"] = None,
+                 mountpoint: Optional[Dentry] = None,
+                 flags: FrozenSet[str] = frozenset()):
+        self.id = next(_mount_ids)
+        self.fs = fs
+        self.root_dentry = root_dentry
+        self.parent = parent
+        self.mountpoint = mountpoint
+        self.flags = frozenset(flags)
+
+    @property
+    def readonly(self) -> bool:
+        return MNT_RDONLY in self.flags
+
+    def __repr__(self) -> str:
+        at = self.mountpoint.path_from_root() if self.mountpoint else "/"
+        return f"Mount(#{self.id} {self.fs.fstype} at {at!r})"
+
+
+class PathPos(NamedTuple):
+    """A (mount, dentry) resolution position."""
+
+    mount: Mount
+    dentry: Dentry
+
+    def same_place(self, other: "PathPos") -> bool:
+        return self.mount is other.mount and self.dentry is other.dentry

@@ -1,0 +1,75 @@
+"""Path string handling: splitting, limits, lexical normalization.
+
+Splitting is deliberately simple (POSIX-like): repeated slashes collapse,
+``.`` components fold away for free during scanning (both kernels do
+this), trailing slashes require the target to be a directory.  ``..`` is
+*not* folded here under Linux semantics — it is a semantic operation the
+walk performs — but :func:`lexical_normalize` implements Plan 9's lexical
+folding for the ``lexical_dotdot`` kernel configuration (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro import errors
+
+PATH_MAX = 4096
+NAME_MAX = 255
+
+
+def validate(path: str) -> None:
+    """Raise ENAMETOOLONG/EINVAL for malformed paths."""
+    if not path:
+        raise errors.EINVAL(path, "empty path")
+    if len(path) > PATH_MAX:
+        raise errors.ENAMETOOLONG(path)
+
+
+def split(path: str) -> Tuple[bool, List[str], bool]:
+    """Split ``path`` into (is_absolute, components, must_be_dir).
+
+    ``.`` components and empty components (from ``//``) are dropped;
+    ``..`` is kept.  ``must_be_dir`` is True for paths with a trailing
+    slash or that end in ``.``/``..``, which constrains the final
+    component to resolve to a directory.
+    """
+    validate(path)
+    is_absolute = path.startswith("/")
+    raw = path.split("/")
+    components: List[str] = []
+    for part in raw:
+        if part in ("", "."):
+            continue
+        if len(part) > NAME_MAX:
+            raise errors.ENAMETOOLONG(path)
+        components.append(part)
+    must_be_dir = path.endswith(("/", "/.", "/..")) or path in (".", "..")
+    if components and components[-1] == "..":
+        must_be_dir = True
+    return is_absolute, components, must_be_dir
+
+
+def lexical_normalize(components: List[str]) -> List[str]:
+    """Fold ``..`` lexically (Plan 9 semantics, §4.2).
+
+    ``a/b/../c`` becomes ``a/c`` without consulting the file system.
+    Leading ``..`` components (above the start) are preserved; the walk
+    clamps them at the root.
+    """
+    out: List[str] = []
+    for part in components:
+        if part == ".." and out and out[-1] != "..":
+            out.pop()
+        else:
+            out.append(part)
+    return out
+
+
+def join(base: str, *parts: str) -> str:
+    """Join path fragments with single slashes."""
+    pieces = [base.rstrip("/")] + [p.strip("/") for p in parts if p]
+    joined = "/".join(piece for piece in pieces if piece != "")
+    if base.startswith("/") and not joined.startswith("/"):
+        joined = "/" + joined
+    return joined or "/"

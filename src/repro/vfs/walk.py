@@ -1,0 +1,320 @@
+"""The slowpath: component-at-a-time path resolution (§2.2).
+
+This is the Linux REF/RCU-walk analog both kernels share: the baseline
+kernel resolves *every* lookup here; the optimized kernel falls back to it
+on a fastpath miss and uses it to (re)populate the fastpath structures.
+
+Per component the walk (1) checks search permission on the current
+directory — the prefix check — then (2) hashes the component and probes
+the primary dcache hash table, (3) calls the low-level file system on a
+miss, and (4) handles ``..``, symlinks, and mountpoint crossings.  Costs
+are charged per primitive under the attribution scopes Figure 3 reports
+("init", "perm", "hash", "htlookup", "final", plus "miss").
+
+The optimized kernel observes the walk through the ``fast`` hook object (a
+:class:`repro.core.fastpath.FastLookup`); the hooks are documented on
+:class:`WalkHooks`.  The baseline kernel passes ``fast=None``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro import errors
+from repro.sim.costs import CostModel
+from repro.sim.stats import Stats
+from repro.vfs import path as vfspath
+from repro.vfs import permissions as perms
+from repro.vfs.dcache import Dcache
+from repro.vfs.dentry import NEG_ENOTDIR, Dentry
+from repro.vfs.lsm import Lsm, NullLsm
+from repro.vfs.mount import PathPos
+from repro.vfs.task import Task
+
+#: Maximum symlink traversals per resolution (Linux's MAXSYMLINKS).
+MAX_SYMLINKS = 40
+
+
+class WalkHooks:
+    """Observation points the optimized kernel hooks into (all no-ops).
+
+    The ``ctx`` passed around is whatever :meth:`begin` returned; the slow
+    walk treats it as opaque.
+    """
+
+    def begin(self, task: Task, start: PathPos, absolute: bool):
+        return None
+
+    def step(self, ctx, name: str, child: Dentry, result: PathPos) -> None:
+        """A component resolved to ``child`` (post mount-crossing)."""
+
+    def dotdot(self, ctx, result: PathPos) -> None:
+        """A ``..`` moved the walk to ``result``."""
+
+    def symlink_begin(self, ctx, link: Dentry, absolute_target: bool) -> None:
+        """``link`` is about to be traversed (before target resolution)."""
+
+    def symlink(self, ctx, link: Dentry, target: PathPos) -> None:
+        """``link`` was traversed; the walk continues at ``target``."""
+
+    def negative_tail(self, ctx, neg: Dentry, remaining: List[str],
+                      kind: str) -> None:
+        """The walk failed at ``neg`` with ``remaining`` components left."""
+
+    def finish(self, ctx, final: PathPos) -> None:
+        """The walk succeeded at ``final`` (dentry may be a create-intent
+        negative)."""
+
+
+class _LinkBudget:
+    """Shared symlink-traversal counter for one top-level resolution."""
+
+    __slots__ = ("left",)
+
+    def __init__(self) -> None:
+        self.left = MAX_SYMLINKS
+
+    def consume(self, path_hint: str) -> None:
+        if self.left <= 0:
+            raise errors.ELOOP(path_hint)
+        self.left -= 1
+
+
+class SlowWalk:
+    """Component-at-a-time resolver over one kernel's caches."""
+
+    def __init__(self, costs: CostModel, stats: Stats, dcache: Dcache,
+                 config, lsm: Optional[Lsm] = None,
+                 hooks: Optional[WalkHooks] = None):
+        self.costs = costs
+        self.stats = stats
+        self.dcache = dcache
+        self.config = config
+        self.lsm = lsm or NullLsm()
+        self.hooks = hooks or WalkHooks()
+
+    # -- public entry -----------------------------------------------------------
+
+    def resolve(self, task: Task, path: str, *, follow_last: bool = True,
+                intent_create: bool = False, create_dir: bool = False,
+                dirfd_pos: Optional[PathPos] = None,
+                count_stats: bool = True,
+                charge_setup: bool = True) -> PathPos:
+        """Resolve ``path`` to a (mount, dentry) position.
+
+        With ``intent_create`` the final dentry may be negative (ENOENT
+        kind) — the caller instantiates it; otherwise a negative final
+        raises.  ``create_dir`` additionally allows a trailing slash on
+        the created name (mkdir).  ``dirfd_pos`` anchors relative paths
+        (\\*at() syscalls).  ``charge_setup=False`` skips the init/final
+        fixed charges — used when a failed fastpath attempt already set
+        the lookup up (the nameidata is reused on fallback).
+        """
+        if count_stats:
+            self.stats.bump("lookup")
+        absolute, comps, must_dir = vfspath.split(path)
+        if self.config.lexical_dotdot:
+            comps = vfspath.lexical_normalize(comps)
+        start = task.root if absolute else (dirfd_pos or task.cwd)
+        if charge_setup:
+            with self.costs.scope("init"):
+                self.costs.charge("lookup_init")
+        ctx = self.hooks.begin(task, start, absolute)
+        budget = _LinkBudget()
+        pos = self._walk(task, start, comps, path,
+                         follow_last=follow_last,
+                         intent_create=intent_create,
+                         create_dir=create_dir,
+                         must_dir=must_dir, budget=budget, ctx=ctx)
+        if charge_setup:
+            with self.costs.scope("final"):
+                self.costs.charge("lookup_final")
+        self.hooks.finish(ctx, pos)
+        return pos
+
+    # -- the component loop ------------------------------------------------------
+
+    def _walk(self, task: Task, start: PathPos, comps: List[str],
+              path_hint: str, *, follow_last: bool, intent_create: bool,
+              must_dir: bool, budget: _LinkBudget, ctx,
+              create_dir: bool = False) -> PathPos:
+        pos = start
+        ns = task.ns
+        total = len(comps)
+        for i, name in enumerate(comps):
+            last = i == total - 1
+            cur = pos.dentry
+            if cur.is_negative:
+                raise errors.ENOENT(path_hint, "start directory is gone")
+            if not cur.is_dir:
+                raise errors.ENOTDIR(path_hint)
+            self._check_search(task, cur, path_hint)
+            self.stats.bump("component_step")
+            with self.costs.scope("hash"):
+                self.costs.charge("component_hash", nbytes=len(name))
+            with self.costs.scope("htlookup"):
+                self.costs.charge("read_barrier")
+                self.costs.charge("seqlock_read")
+            if name == "..":
+                pos = ns.cross_down(ns.parent_pos(pos, task.root))
+                self.hooks.dotdot(ctx, pos)
+                continue
+            child, from_cache = self._lookup_child(pos, cur, name)
+            if child is None or child.is_negative:
+                if from_cache:
+                    self.stats.bump("negative_hit")
+                kind_err = self._negative_error(child, path_hint)
+                if last and intent_create:
+                    if not isinstance(kind_err, errors.ENOENT):
+                        raise kind_err
+                    if child is None:
+                        # Baseline pseudo-fs: nothing may be cached and
+                        # nothing can be created there either.
+                        raise errors.EPERM(path_hint,
+                                           "create on pseudo file system")
+                    if must_dir and not create_dir:
+                        raise errors.ENOENT(path_hint)
+                    result = PathPos(pos.mount, child)
+                    self.hooks.step(ctx, name, child, result)
+                    return result
+                if child is not None:
+                    self.hooks.negative_tail(ctx, child, comps[i + 1:],
+                                             child.neg_kind)
+                raise kind_err
+            if child.is_stub:
+                self._fill_stub(pos, child)
+            if child.is_symlink and (not last or follow_last or must_dir):
+                budget.consume(path_hint)
+                target = child.inode.symlink_target or ""
+                if not target:
+                    raise errors.ENOENT(path_hint, "empty symlink target")
+                self.costs.charge("symlink_resolve")
+                self.stats.bump("symlink_traverse")
+                sub_create = intent_create and last
+                tabs, tcomps, tmust = vfspath.split(target)
+                if self.config.lexical_dotdot:
+                    tcomps = vfspath.lexical_normalize(tcomps)
+                sub_start = task.root if tabs else pos
+                self.hooks.symlink_begin(ctx, child, tabs)
+                tpos = self._walk(task, sub_start, tcomps, target,
+                                  follow_last=True,
+                                  intent_create=sub_create,
+                                  must_dir=tmust, budget=budget, ctx=ctx)
+                self.hooks.symlink(ctx, child, tpos)
+                pos = tpos
+                continue
+            if (not last and not child.is_dir) or \
+                    (last and must_dir and not child.is_dir):
+                self._note_enotdir(ctx, child, comps[i + 1:])
+                raise errors.ENOTDIR(path_hint)
+            result = PathPos(pos.mount, child)
+            crossed = ns.cross_down(result)
+            if not crossed.same_place(result):
+                self.costs.charge("mountpoint_cross")
+                self.stats.bump("mount_cross")
+            pos = crossed
+            self.hooks.step(ctx, name, child, pos)
+        final = pos.dentry
+        if final.is_negative:
+            if final.neg_kind == NEG_ENOTDIR:
+                raise errors.ENOTDIR(path_hint)
+            if not intent_create:
+                raise errors.ENOENT(path_hint)
+        elif must_dir and not final.is_dir:
+            raise errors.ENOTDIR(path_hint)
+        return pos
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _check_search(self, task: Task, dentry: Dentry,
+                      path_hint: str) -> None:
+        inode = dentry.inode
+        with self.costs.scope("perm"):
+            self.costs.charge("perm_check_dac")
+            allowed = perms.may_search(task.cred, inode)
+            if allowed and not isinstance(self.lsm, NullLsm):
+                self.costs.charge("perm_check_lsm")
+                allowed = self.lsm.inode_permission(task.cred, inode,
+                                                    perms.MAY_EXEC)
+        if not allowed:
+            raise errors.EACCES(path_hint)
+
+    def _lookup_child(self, pos: PathPos, cur: Dentry, name: str):
+        """Primary-table lookup, falling to the low-level FS on a miss.
+
+        Returns ``(child, from_cache)``; child is ``None`` only when the
+        name does not exist *and* no negative dentry may be cached for it
+        (baseline pseudo-fs rule).
+        """
+        with self.costs.scope("htlookup"):
+            child = self.dcache.d_lookup(cur, name)
+        if child is not None:
+            self.stats.bump("dcache_hit")
+            if cur.inode.fs.requires_revalidation:
+                child = self._revalidate(cur, name, child)
+            return child, True
+        if cur.dir_complete:
+            # §5.1: a complete directory proves absence without an FS call.
+            self.stats.bump("dir_complete_elide")
+            return self.dcache.d_alloc(cur, name, None), True
+        return self._miss(pos, cur, name), False
+
+    def _miss(self, pos: PathPos, cur: Dentry,
+              name: str) -> Optional[Dentry]:
+        self.stats.bump("dcache_miss")
+        self.stats.bump("fs_lookup")
+        fs = cur.inode.fs
+        with self.costs.scope("miss"):
+            info = fs.lookup(cur.inode.ino, name)
+        if info is not None:
+            inode = self.dcache.inode_table(fs).obtain(info)
+            return self.dcache.d_alloc(cur, name, inode)
+        cache_negative = (fs.baseline_negative_dentries or
+                          self.config.aggressive_negative)
+        if cache_negative:
+            return self.dcache.d_alloc(cur, name, None)
+        return None
+
+    def _revalidate(self, cur: Dentry, name: str,
+                    child: Dentry) -> Dentry:
+        """Stateless-network-FS semantics (§4.3): ask the server whether
+        the cached entry is still the truth, one round trip per cached
+        component — "effectively forcing a cache miss and nullifying any
+        benefit to the hit path"."""
+        fs = cur.inode.fs
+        self.stats.bump("revalidate")
+        cached_ino = child.inode.ino if child.inode is not None else None
+        with self.costs.scope("miss"):
+            info = fs.revalidate(cur.inode.ino, name, cached_ino)
+        if info is None:
+            if not child.is_negative:
+                self.dcache.make_negative(child)
+            return child
+        inode = self.dcache.inode_table(fs).obtain(info)
+        if child.inode is not inode:
+            self.dcache.make_positive(child, inode)
+        else:
+            inode.apply(info)
+        return child
+
+    def _fill_stub(self, pos: PathPos, child: Dentry) -> None:
+        """Link a readdir-created stub dentry with its inode (§5.1)."""
+        assert child.stub is not None
+        fs = pos.mount.fs
+        self.stats.bump("stub_fill")
+        with self.costs.scope("miss"):
+            info = fs.getattr(child.stub[0])
+        inode = self.dcache.inode_table(fs).obtain(info)
+        self.dcache.make_positive(child, inode)
+
+    @staticmethod
+    def _negative_error(child: Optional[Dentry],
+                        path_hint: str) -> "errors.FsError":
+        if child is not None and child.neg_kind == NEG_ENOTDIR:
+            return errors.ENOTDIR(path_hint)
+        return errors.ENOENT(path_hint)
+
+    def _note_enotdir(self, ctx, file_dentry: Dentry,
+                      remaining: List[str]) -> None:
+        """Hook for deep ENOTDIR negatives under a regular file (§5.2)."""
+        self.hooks.negative_tail(ctx, file_dentry, remaining, NEG_ENOTDIR)

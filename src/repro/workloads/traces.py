@@ -1,0 +1,230 @@
+"""Syscall trace recording and replay (iBench-style, §1).
+
+The paper motivates its work with syscall traces: "between 10-20% of all
+system calls in the iBench system call traces do a path lookup."  This
+module gives the reproduction the same methodology: record a workload's
+syscall stream once (with per-event compute gaps), then replay it
+verbatim against any kernel configuration and compare.
+
+File descriptors are kernel-local, so traces store *fd slots*: the
+recorder maps each returned fd to a dense slot id, and replay remaps
+slots to the fds its own kernel returns.  Traces serialize to JSON lines
+for storage and diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import errors
+from repro.core.kernel import Kernel
+from repro.vfs.task import Task
+
+#: Syscalls that perform a path lookup (the §1 statistic).
+PATH_LOOKUP_OPS = frozenset([
+    "stat", "lstat", "fstatat", "access", "open", "openat", "mkdir",
+    "rmdir", "unlink", "rename", "chmod", "chown", "symlink", "link",
+    "readlink", "chdir", "truncate",
+])
+
+#: Argument positions (per op) holding fd slots, for remapping.
+_FD_ARG_OPS = frozenset(["close", "read", "write", "lseek", "ftruncate",
+                         "getdents", "fstat", "fchdir"])
+
+
+@dataclass
+class TraceEvent:
+    """One recorded syscall (or compute gap)."""
+
+    op: str
+    args: Tuple[Any, ...]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Slot id assigned to a returned fd (open/openat/mkstemp).
+    returns_fd_slot: Optional[int] = None
+    #: errno when the recorded call failed (replay must match).
+    errno: Optional[int] = None
+    #: Application compute charged before this call (virtual ns).
+    compute_ns: float = 0.0
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "op": self.op, "args": list(self.args),
+            "kwargs": self.kwargs, "fd_slot": self.returns_fd_slot,
+            "errno": self.errno, "compute_ns": self.compute_ns,
+        })
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        raw = json.loads(line)
+        return cls(op=raw["op"], args=tuple(raw["args"]),
+                   kwargs=raw.get("kwargs", {}),
+                   returns_fd_slot=raw.get("fd_slot"),
+                   errno=raw.get("errno"),
+                   compute_ns=raw.get("compute_ns", 0.0))
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics over a trace (the §1 measurements)."""
+
+    total_syscalls: int
+    path_lookup_syscalls: int
+    by_op: Dict[str, int]
+    total_compute_ns: float
+
+    @property
+    def path_lookup_fraction(self) -> float:
+        if self.total_syscalls == 0:
+            return 0.0
+        return self.path_lookup_syscalls / self.total_syscalls
+
+
+class Trace:
+    """An ordered stream of recorded syscalls."""
+
+    def __init__(self, events: Optional[List[TraceEvent]] = None):
+        self.events: List[TraceEvent] = events or []
+
+    def stats(self) -> TraceStats:
+        by_op: Dict[str, int] = {}
+        path_calls = 0
+        compute = 0.0
+        for event in self.events:
+            by_op[event.op] = by_op.get(event.op, 0) + 1
+            if event.op in PATH_LOOKUP_OPS:
+                path_calls += 1
+            compute += event.compute_ns
+        return TraceStats(total_syscalls=len(self.events),
+                          path_lookup_syscalls=path_calls,
+                          by_op=by_op, total_compute_ns=compute)
+
+    # -- persistence ---------------------------------------------------------
+
+    def dumps(self) -> str:
+        return "\n".join(event.to_json() for event in self.events)
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        return cls([TraceEvent.from_json(line)
+                    for line in text.splitlines() if line.strip()])
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class TraceRecorder:
+    """Record syscalls as they execute on a live kernel.
+
+    Use it like the syscall facade; every call is executed *and*
+    recorded.  Compute gaps are recorded with :meth:`compute`.
+    """
+
+    def __init__(self, kernel: Kernel, task: Task):
+        self._kernel = kernel
+        self._task = task
+        self.trace = Trace()
+        self._fd_slots: Dict[int, int] = {}
+        self._next_slot = 0
+        self._pending_compute = 0.0
+
+    def compute(self, ns: float) -> None:
+        """Record (and charge) an application compute gap."""
+        self._kernel.costs.charge_ns("app_compute", ns)
+        self._pending_compute += ns
+
+    def __getattr__(self, op: str):
+        method = getattr(self._kernel.sys, op)
+
+        def wrapper(*args, **kwargs):
+            event = TraceEvent(op=op, args=self._encode(op, args),
+                               kwargs=self._encode_kwargs(kwargs),
+                               compute_ns=self._pending_compute)
+            self._pending_compute = 0.0
+            try:
+                result = method(self._task, *args, **kwargs)
+            except errors.FsError as exc:
+                event.errno = exc.errno
+                self.trace.events.append(event)
+                raise
+            if op in ("open", "openat"):
+                event.returns_fd_slot = self._assign_slot(result)
+            elif op == "mkstemp":
+                event.returns_fd_slot = self._assign_slot(result[0])
+            self.trace.events.append(event)
+            return result
+
+        return wrapper
+
+    def _assign_slot(self, fd: int) -> int:
+        slot = self._next_slot
+        self._next_slot += 1
+        self._fd_slots[fd] = slot
+        return slot
+
+    def _encode(self, op: str, args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Replace fd arguments with their slots for portability."""
+        if op in _FD_ARG_OPS and args:
+            fd = args[0]
+            return (("fd", self._fd_slots[fd]),) + tuple(
+                a.decode("latin-1") if isinstance(a, bytes) else a
+                for a in args[1:])
+        return tuple(a.decode("latin-1") if isinstance(a, bytes) else a
+                     for a in args)
+
+    def _encode_kwargs(self, kwargs: Dict[str, Any]) -> Dict[str, Any]:
+        out = {}
+        for key, value in kwargs.items():
+            if key == "dirfd" and value is not None:
+                out[key] = ("fd", self._fd_slots[value])
+            elif isinstance(value, (str, int, float, bool, type(None))):
+                out[key] = value
+            # Non-serializable kwargs (e.g. an rng) are dropped; replay
+            # uses the callee's deterministic default.
+        return out
+
+
+class ReplayMismatch(AssertionError):
+    """A replayed call's outcome diverged from the recording."""
+
+
+def replay(kernel: Kernel, task: Task, trace: Trace,
+           strict: bool = True) -> None:
+    """Replay a trace against a kernel, checking outcomes.
+
+    With ``strict``, a call that succeeded at record time must succeed at
+    replay time and vice versa (matching errno).
+    """
+    slot_fds: Dict[int, int] = {}
+
+    def decode(value):
+        if isinstance(value, (tuple, list)) and len(value) == 2 \
+                and value[0] == "fd":
+            return slot_fds[value[1]]
+        return value
+
+    for event in trace.events:
+        if event.compute_ns:
+            kernel.costs.charge_ns("app_compute", event.compute_ns)
+        args = tuple(decode(a) for a in event.args)
+        if event.op == "write" and len(args) == 2 \
+                and isinstance(args[1], str):
+            args = (args[0], args[1].encode("latin-1"))
+        kwargs = {k: decode(v) for k, v in event.kwargs.items()}
+        method = getattr(kernel.sys, event.op)
+        try:
+            result = method(task, *args, **kwargs)
+        except errors.FsError as exc:
+            if strict and exc.errno != event.errno:
+                raise ReplayMismatch(
+                    f"{event.op}{args!r}: recorded "
+                    f"errno={event.errno}, replayed errno={exc.errno}")
+            continue
+        if strict and event.errno is not None:
+            raise ReplayMismatch(
+                f"{event.op}{args!r}: recorded errno={event.errno}, "
+                f"replay succeeded")
+        if event.returns_fd_slot is not None:
+            fd = result[0] if event.op == "mkstemp" else result
+            slot_fds[event.returns_fd_slot] = fd

@@ -1,0 +1,124 @@
+"""Directed tests for the *at() syscall family and dirfd handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import O_CREAT, O_DIRECTORY, O_RDONLY, O_RDWR, errors
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task(uid=0, gid=0)
+
+
+def _setup(kernel, task):
+    sys = kernel.sys
+    sys.mkdir(task, "/work")
+    sys.mkdir(task, "/work/sub")
+    fd = sys.open(task, "/work/data.txt", O_CREAT | O_RDWR)
+    sys.write(task, fd, b"contents")
+    sys.close(task, fd)
+    return sys.open(task, "/work", O_RDONLY | O_DIRECTORY)
+
+
+class TestFstatat:
+    def test_single_component(self, kernel, task):
+        dirfd = _setup(kernel, task)
+        st = kernel.sys.fstatat(task, "data.txt", dirfd=dirfd)
+        assert st.size == 8
+
+    def test_multi_component(self, kernel, task):
+        dirfd = _setup(kernel, task)
+        fd = kernel.sys.open(task, "/work/sub/deep", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        st = kernel.sys.fstatat(task, "sub/deep", dirfd=dirfd)
+        assert st.filetype == "reg"
+
+    def test_absolute_path_ignores_dirfd(self, kernel, task):
+        dirfd = _setup(kernel, task)
+        fd = kernel.sys.open(task, "/elsewhere", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        st = kernel.sys.fstatat(task, "/elsewhere", dirfd=dirfd)
+        assert st.filetype == "reg"
+
+    def test_nofollow_flag(self, kernel, task):
+        dirfd = _setup(kernel, task)
+        kernel.sys.symlink(task, "data.txt", "/work/ln")
+        follow = kernel.sys.fstatat(task, "ln", dirfd=dirfd)
+        nofollow = kernel.sys.fstatat(task, "ln", dirfd=dirfd,
+                                      follow=False)
+        assert follow.filetype == "reg"
+        assert nofollow.filetype == "lnk"
+
+    def test_closed_dirfd(self, kernel, task):
+        dirfd = _setup(kernel, task)
+        kernel.sys.close(task, dirfd)
+        with pytest.raises(errors.EBADF):
+            kernel.sys.fstatat(task, "data.txt", dirfd=dirfd)
+
+    def test_dirfd_of_regular_file(self, kernel, task):
+        _setup(kernel, task)
+        fd = kernel.sys.open(task, "/work/data.txt", O_RDONLY)
+        with pytest.raises(errors.ENOTDIR):
+            kernel.sys.fstatat(task, "anything", dirfd=fd)
+
+    def test_enoent_relative(self, kernel, task):
+        dirfd = _setup(kernel, task)
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.fstatat(task, "ghost", dirfd=dirfd)
+
+
+class TestOpenat:
+    def test_openat_read(self, kernel, task):
+        dirfd = _setup(kernel, task)
+        fd = kernel.sys.openat(task, dirfd, "data.txt", O_RDONLY)
+        assert kernel.sys.read(task, fd, 100) == b"contents"
+        kernel.sys.close(task, fd)
+
+    def test_openat_create(self, kernel, task):
+        dirfd = _setup(kernel, task)
+        fd = kernel.sys.openat(task, dirfd, "fresh", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        assert kernel.sys.stat(task, "/work/fresh").filetype == "reg"
+
+    def test_mkdir_with_dirfd(self, kernel, task):
+        dirfd = _setup(kernel, task)
+        kernel.sys.mkdir(task, "newdir", dirfd=dirfd)
+        assert kernel.sys.stat(task, "/work/newdir").filetype == "dir"
+
+    def test_dirfd_survives_rename_of_dir(self, kernel, task):
+        """POSIX: operations via a dirfd follow the directory object,
+        not its path — even after the directory moves."""
+        dirfd = _setup(kernel, task)
+        kernel.sys.rename(task, "/work", "/moved")
+        st = kernel.sys.fstatat(task, "data.txt", dirfd=dirfd)
+        assert st.size == 8
+        fd = kernel.sys.openat(task, dirfd, "via_old_fd",
+                               O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        assert kernel.sys.stat(task, "/moved/via_old_fd").filetype == "reg"
+
+    def test_dirfd_dotdot(self, kernel, task):
+        dirfd = _setup(kernel, task)
+        fd = kernel.sys.open(task, "/topfile", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        st = kernel.sys.fstatat(task, "../topfile", dirfd=dirfd)
+        assert st.filetype == "reg"
+
+
+class TestAtFastpath:
+    def test_repeated_fstatat_hits_fastpath(self, optimized):
+        task = optimized.spawn_task(uid=0, gid=0)
+        dirfd = _setup(optimized, task)
+        optimized.sys.fstatat(task, "data.txt", dirfd=dirfd)
+        optimized.stats.reset()
+        optimized.sys.fstatat(task, "data.txt", dirfd=dirfd)
+        assert optimized.stats.get("fastpath_hit") == 1
+
+    def test_dirfd_relative_and_absolute_agree(self, optimized):
+        task = optimized.spawn_task(uid=0, gid=0)
+        dirfd = _setup(optimized, task)
+        rel = optimized.sys.fstatat(task, "data.txt", dirfd=dirfd)
+        absolute = optimized.sys.stat(task, "/work/data.txt")
+        assert rel.ino == absolute.ino

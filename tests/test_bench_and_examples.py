@@ -1,0 +1,99 @@
+"""Tests for the benchmark harness plumbing and the example scripts."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import Check, Report, gain_pct, render_table, speedup_pct
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestHarness:
+    def _report(self):
+        report = Report(exp_id="T", title="demo", paper_expectation="x",
+                        headers=["a", "b"])
+        report.add_row(1, 2.5)
+        report.add_row("wide value", 10_000.0)
+        report.check("passes", True, "ok")
+        report.check("fails", False, "nope")
+        return report
+
+    def test_gain_pct(self):
+        assert gain_pct(100.0, 75.0) == pytest.approx(25.0)
+        assert gain_pct(0.0, 10.0) == 0.0
+
+    def test_speedup_pct(self):
+        assert speedup_pct(100.0, 110.0) == pytest.approx(10.0)
+
+    def test_all_passed(self):
+        report = self._report()
+        assert not report.all_passed
+        report.checks = [Check("only", True)]
+        assert report.all_passed
+
+    def test_text_render(self):
+        text = self._report().to_text()
+        assert "== T: demo" in text
+        assert "[PASS] passes (ok)" in text
+        assert "[FAIL] fails (nope)" in text
+
+    def test_markdown_render(self):
+        md = self._report().to_markdown()
+        assert "### T: demo" in md
+        assert "| a | b |" in md
+        assert "10,000" in md
+
+    def test_render_table_alignment(self):
+        table = render_table(["col", "x"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_table4_runs_fast(self):
+        from repro.bench import exp_table4
+        report = exp_table4.run()
+        assert report.all_passed, report.to_text()
+        total = sum(row[2] for row in report.rows)
+        assert total > 4000  # the codebase is substantial
+
+    def test_fig3_runs_and_passes(self):
+        from repro.bench import exp_fig3
+        report = exp_fig3.run(quick=True)
+        assert report.all_passed, report.to_text()
+
+    def test_report_registry_complete(self):
+        from repro.bench.report import EXPERIMENTS
+        names = [name for name, _ in EXPERIMENTS]
+        for expected in ("fig1", "fig2", "fig3", "fig6", "fig7", "fig8",
+                         "fig9", "fig10", "table1", "table2", "table3",
+                         "table4", "collisions", "pcc", "ablation"):
+            assert expected in names
+
+
+class TestExamples:
+    @pytest.mark.parametrize("script", [
+        "quickstart.py",
+        "mail_server.py",
+        "build_system.py",
+        "sandboxed_service.py",
+        "trace_replay.py",
+        "backup_sync.py",
+    ])
+    def test_example_runs_clean(self, script, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", [script, "200"])
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+        output = capsys.readouterr().out
+        assert "BUG" not in output
+        assert output.strip()
+
+    def test_quickstart_shows_fastpath(self, capsys):
+        runpy.run_path(str(EXAMPLES / "quickstart.py"),
+                       run_name="__main__")
+        out = capsys.readouterr().out
+        assert "fastpath hits: 1" in out
+        assert "EACCES" in out

@@ -1,0 +1,88 @@
+"""Regression tests: DIR_COMPLETE must not be claimed on file systems
+whose contents change outside the VFS (pseudo and network FSes).
+
+Found as a real bug during development: after one full readdir of /proc,
+the completeness flag turned provider-added entries into false ENOENTs.
+"""
+
+from __future__ import annotations
+
+from repro import O_CREAT, O_RDWR, make_kernel
+from repro.fs import base
+from repro.fs.netfs import AfsLikeFs, ExportServer, NfsLikeFs
+from repro.fs.pseudofs import PseudoFs
+
+
+class TestPseudoFsGating:
+    def _proc_kernel(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/proc")
+        proc = PseudoFs(kernel.costs)
+        pids = {"17": (base.S_IFDIR | 0o555, None)}
+        proc.set_provider(proc.root_ino, lambda: dict(pids))
+        kernel.sys.mount_fs(task, proc, "/proc")
+        return kernel, task, pids
+
+    def test_new_provider_entry_visible_after_listing(self):
+        kernel, task, pids = self._proc_kernel()
+        kernel.sys.listdir(task, "/proc")
+        pids["99"] = (base.S_IFDIR | 0o555, None)
+        assert kernel.sys.stat(task, "/proc/99").filetype == "dir"
+
+    def test_proc_never_marked_complete(self):
+        kernel, task, _pids = self._proc_kernel()
+        kernel.stats.reset()  # setup's local mkdir set the flag once
+        kernel.sys.listdir(task, "/proc")
+        kernel.sys.listdir(task, "/proc")
+        assert kernel.stats.get("dir_complete_set") == 0
+        assert kernel.stats.get("readdir_cached") == 0
+
+    def test_removed_provider_entry_disappears(self):
+        kernel, task, pids = self._proc_kernel()
+        assert kernel.sys.stat(task, "/proc/17").filetype == "dir"
+        kernel.sys.listdir(task, "/proc")
+        del pids["17"]
+        # The cached positive dentry is revalidated... pseudo FS does not
+        # revalidate, so the dcache may still claim existence — exactly
+        # Linux's behaviour without d_revalidate.  Listing reflects truth:
+        names = {n for n, _i, _t in kernel.sys.listdir(task, "/proc")}
+        assert "17" not in names
+
+
+class TestNetFsGating:
+    def test_nfs_like_sees_new_server_files_after_listing(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/net")
+        server = ExportServer(kernel.costs)
+        fs = NfsLikeFs(server)
+        kernel.sys.mount_fs(task, fs, "/net")
+        kernel.sys.listdir(task, "/net")
+        server.backing.create(fs.root_ino, "fresh", 0o644, 0, 0)
+        assert kernel.sys.stat(task, "/net/fresh").filetype == "reg"
+
+    def test_afs_like_mkdir_not_marked_complete(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/net")
+        server = ExportServer(kernel.costs)
+        fs = AfsLikeFs(server)
+        kernel.sys.mount_fs(task, fs, "/net")
+        kernel.sys.mkdir(task, "/net/d")
+        # Another client writes into the new directory directly.
+        d_ino = kernel.sys.stat(task, "/net/d").ino
+        server.backing.create(d_ino, "other-client", 0o644, 0, 0)
+        assert kernel.sys.stat(task,
+                               "/net/d/other-client").filetype == "reg"
+
+    def test_local_fs_still_marks_complete(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/local")
+        fd = kernel.sys.open(task, "/local/f", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        assert kernel.stats.get("dir_complete_set") >= 1
+        kernel.stats.reset()
+        kernel.sys.listdir(task, "/local")
+        assert kernel.stats.get("readdir_cached") == 1

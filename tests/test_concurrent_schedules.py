@@ -1,0 +1,195 @@
+"""Multi-operation deterministic concurrency tests (§3.2 at scale).
+
+Each test runs several syscalls "concurrently" under many seeded
+schedules; after every schedule, the fastpath must agree with a
+ground-truth walk on every probe path, and the cache invariants must
+hold.  This explores far more histories than single-injection races:
+several lookups populate the DLHT/PCC while mutations invalidate
+beneath them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import O_CREAT, O_RDWR, make_kernel
+from repro.testing.dual import _check_kernel_invariants
+from repro.testing.races import assert_fastpath_consistent
+from repro.testing.scheduler import ConcurrentRunner
+
+SEEDS = range(12)
+
+
+def _mkfile(kernel, task, path, content=b""):
+    fd = kernel.sys.open(task, path, O_CREAT | O_RDWR)
+    if content:
+        kernel.sys.write(task, fd, content)
+    kernel.sys.close(task, fd)
+
+
+def _stat(kernel, task, path):
+    def op():
+        return kernel.sys.stat(task, path)
+    return op
+
+
+class TestLookupsVsRename:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_two_lookups_one_dir_rename(self, seed):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        sys = kernel.sys
+        sys.mkdir(task, "/a")
+        sys.mkdir(task, "/a/b")
+        _mkfile(kernel, task, "/a/b/f", b"data")
+        kernel.drop_caches()
+        runner = ConcurrentRunner(kernel, seed)
+        outcomes = runner.run([
+            _stat(kernel, task, "/a/b/f"),
+            _stat(kernel, task, "/a/b"),
+            lambda: sys.rename(task, "/a", "/z"),
+        ])
+        assert all(kind in ("ok", "err") for kind, _ in outcomes)
+        assert_fastpath_consistent(kernel, task,
+                                   ["/a/b/f", "/z/b/f", "/a", "/z"])
+        _check_kernel_invariants(kernel)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_rename_chain_during_lookups(self, seed):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        sys = kernel.sys
+        sys.mkdir(task, "/d")
+        _mkfile(kernel, task, "/d/one", b"1")
+        kernel.drop_caches()
+
+        def shuffle():
+            sys.rename(task, "/d/one", "/d/two")
+            sys.rename(task, "/d/two", "/d/three")
+
+        runner = ConcurrentRunner(kernel, seed)
+        runner.run([
+            _stat(kernel, task, "/d/one"),
+            _stat(kernel, task, "/d/two"),
+            _stat(kernel, task, "/d/three"),
+            shuffle,
+        ])
+        assert_fastpath_consistent(kernel, task,
+                                   ["/d/one", "/d/two", "/d/three"])
+        _check_kernel_invariants(kernel)
+
+
+class TestLookupsVsPermissions:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_user_lookups_during_chmod(self, seed):
+        kernel = make_kernel("optimized")
+        root = kernel.spawn_task(uid=0, gid=0)
+        sys = kernel.sys
+        sys.mkdir(root, "/pub", 0o755)
+        _mkfile(kernel, root, "/pub/f", b"x")
+        _mkfile(kernel, root, "/pub/g", b"y")
+        users = [kernel.spawn_task(uid=1000 + i, gid=1000)
+                 for i in range(2)]
+        kernel.drop_caches()
+        runner = ConcurrentRunner(kernel, seed)
+        runner.run([
+            _stat(kernel, users[0], "/pub/f"),
+            _stat(kernel, users[1], "/pub/g"),
+            lambda: sys.chmod(root, "/pub", 0o700),
+        ])
+        for user in users:
+            assert_fastpath_consistent(kernel, user, ["/pub/f", "/pub/g"])
+        _check_kernel_invariants(kernel)
+
+
+class TestLookupsVsExistence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_negative_lookups_during_creation(self, seed):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        sys = kernel.sys
+        sys.mkdir(task, "/d")
+        kernel.drop_caches()
+        runner = ConcurrentRunner(kernel, seed)
+        runner.run([
+            _stat(kernel, task, "/d/new"),
+            _stat(kernel, task, "/d/new"),
+            lambda: _mkfile(kernel, task, "/d/new", b"!"),
+        ])
+        assert_fastpath_consistent(kernel, task, ["/d/new"])
+        assert kernel.sys.stat(task, "/d/new").size == 1
+        _check_kernel_invariants(kernel)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mixed_storm(self, seed):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        sys = kernel.sys
+        sys.mkdir(task, "/s")
+        _mkfile(kernel, task, "/s/a", b"a")
+        _mkfile(kernel, task, "/s/b", b"b")
+        sys.symlink(task, "/s/a", "/s/ln")
+        kernel.drop_caches()
+        runner = ConcurrentRunner(kernel, seed)
+        runner.run([
+            _stat(kernel, task, "/s/ln"),
+            _stat(kernel, task, "/s/a"),
+            _stat(kernel, task, "/s/b"),
+            lambda: sys.unlink(task, "/s/a"),
+            lambda: sys.rename(task, "/s/b", "/s/c"),
+            lambda: _mkfile(kernel, task, "/s/d"),
+        ])
+        assert_fastpath_consistent(
+            kernel, task, ["/s/ln", "/s/a", "/s/b", "/s/c", "/s/d"])
+        _check_kernel_invariants(kernel)
+
+
+class TestSchedulerMechanics:
+    def test_determinism(self):
+        def history(seed):
+            kernel = make_kernel("optimized")
+            task = kernel.spawn_task(uid=0, gid=0)
+            _mkfile(kernel, task, "/f", b"x")
+            kernel.drop_caches()
+            runner = ConcurrentRunner(kernel, seed)
+            outcomes = runner.run([
+                _stat(kernel, task, "/f"),
+                lambda: kernel.sys.unlink(task, "/f"),
+            ])
+            return [(k, getattr(v, "ino", v)) for k, v in outcomes], \
+                kernel.now_ns
+
+        assert history(5) == history(5)
+
+    def test_different_seeds_reach_different_histories(self):
+        results = set()
+        for seed in range(10):
+            kernel = make_kernel("optimized")
+            task = kernel.spawn_task(uid=0, gid=0)
+            _mkfile(kernel, task, "/f", b"x")
+            kernel.drop_caches()
+            runner = ConcurrentRunner(kernel, seed)
+            outcomes = runner.run([
+                _stat(kernel, task, "/f"),
+                lambda: kernel.sys.unlink(task, "/f"),
+            ])
+            results.add(outcomes[0][0])
+        # Across seeds the stat must sometimes win and sometimes lose.
+        assert results == {"ok", "err"}
+
+    def test_crash_propagates(self):
+        kernel = make_kernel("optimized")
+        runner = ConcurrentRunner(kernel, 1)
+
+        def boom():
+            raise ValueError("injected")
+
+        with pytest.raises(ValueError):
+            runner.run([boom])
+
+    def test_hooks_restored_after_run(self):
+        kernel = make_kernel("optimized")
+        original = kernel.slow_walk.hooks
+        runner = ConcurrentRunner(kernel, 1)
+        runner.run([lambda: None])
+        assert kernel.slow_walk.hooks is original

@@ -1,0 +1,93 @@
+"""Regression tests: coherence shootdowns cross mount boundaries.
+
+A permission change above a mountpoint must invalidate memoized prefix
+checks for paths that continue *into* the mounted file system — the
+dentry trees are per-superblock, so the shootdown walk has to follow the
+mount table downward (found as a real bug during development).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import O_CREAT, O_RDWR, errors
+from repro.fs.tmpfs import TmpFs
+
+
+def _setup(kernel):
+    sys = kernel.sys
+    root = kernel.spawn_task(uid=0, gid=0)
+    sys.mkdir(root, "/m")
+    sys.mount_fs(root, TmpFs(kernel.costs), "/m")
+    fd = sys.open(root, "/m/f", O_CREAT | O_RDWR)
+    sys.close(root, fd)
+    sys.chmod(root, "/m", 0o755)
+    return root
+
+
+class TestShootdownCrossesMounts:
+    def test_chmod_above_mount_revokes_inside(self, kernel):
+        root = _setup(kernel)
+        sys = kernel.sys
+        user = kernel.spawn_task(uid=1000, gid=1000)
+        assert sys.stat(user, "/m/f").filetype == "reg"
+        sys.chmod(root, "/", 0o700)
+        # Every subsequent lookup must fail — including ones after the
+        # fastpath structures have been lazily repopulated.
+        for _ in range(3):
+            with pytest.raises(errors.EACCES):
+                sys.stat(user, "/m/f")
+        sys.chmod(root, "/", 0o755)
+        assert sys.stat(user, "/m/f").filetype == "reg"
+
+    def test_chmod_above_nested_mounts(self, kernel):
+        root = _setup(kernel)
+        sys = kernel.sys
+        sys.mkdir(root, "/m/inner")
+        sys.mount_fs(root, TmpFs(kernel.costs), "/m/inner")
+        fd = sys.open(root, "/m/inner/deep", O_CREAT | O_RDWR)
+        sys.close(root, fd)
+        sys.chmod(root, "/m/inner", 0o755)
+        user = kernel.spawn_task(uid=1000, gid=1000)
+        assert sys.stat(user, "/m/inner/deep").filetype == "reg"
+        sys.chmod(root, "/", 0o700)
+        for _ in range(3):
+            with pytest.raises(errors.EACCES):
+                sys.stat(user, "/m/inner/deep")
+
+    def test_rename_above_mountpoint_parent(self, kernel):
+        sys = kernel.sys
+        root = kernel.spawn_task(uid=0, gid=0)
+        sys.mkdir(root, "/outer")
+        sys.mkdir(root, "/outer/mp")
+        sys.mount_fs(root, TmpFs(kernel.costs), "/outer/mp")
+        fd = sys.open(root, "/outer/mp/f", O_CREAT | O_RDWR)
+        sys.close(root, fd)
+        sys.stat(root, "/outer/mp/f")
+        sys.rename(root, "/outer", "/moved")
+        with pytest.raises(errors.ENOENT):
+            sys.stat(root, "/outer/mp/f")
+        assert sys.stat(root, "/moved/mp/f").filetype == "reg"
+
+    def test_revocation_seen_in_cloned_namespace(self, kernel):
+        root = _setup(kernel)
+        sys = kernel.sys
+        isolated = kernel.spawn_task(uid=0, gid=0)
+        sys.unshare_mountns(isolated)
+        kernel.change_identity(isolated, uid=1000, gid=1000)
+        assert sys.stat(isolated, "/m/f").filetype == "reg"
+        sys.chmod(root, "/", 0o700)
+        for _ in range(3):
+            with pytest.raises(errors.EACCES):
+                sys.stat(isolated, "/m/f")
+
+    def test_umount_unregisters(self, kernel):
+        root = _setup(kernel)
+        sys = kernel.sys
+        sys.umount(root, "/m")
+        # Re-chmodding / after umount must not touch the detached
+        # tmpfs dentries (no crash, no stale registry entries).
+        before = kernel.stats.get("inval_dentry")
+        sys.chmod(root, "/", 0o700)
+        sys.chmod(root, "/", 0o755)
+        assert kernel.stats.get("inval_dentry") >= before  # sane & alive

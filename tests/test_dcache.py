@@ -1,0 +1,276 @@
+"""Unit tests for dentries, inodes, and the baseline dcache structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs.tmpfs import TmpFs
+from repro.sim.costs import CostModel, UNIT
+from repro.sim.stats import Stats
+from repro.vfs.dcache import Dcache
+from repro.vfs.dentry import NEG_ENOENT, NEG_ENOTDIR
+
+
+@pytest.fixture
+def env():
+    costs = CostModel(dict(UNIT))
+    stats = Stats()
+    fs = TmpFs(costs)
+    dcache = Dcache(costs, stats, capacity=100)
+    return costs, stats, fs, dcache
+
+
+def _positive_child(dcache, fs, parent, name):
+    info = fs.create(fs.root_ino, name, 0o644, 0, 0)
+    inode = dcache.inode_table(fs).obtain(info)
+    return dcache.d_alloc(parent, name, inode)
+
+
+class TestRootDentry:
+    def test_root_pinned_and_cached(self, env):
+        _costs, _stats, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        assert root.pin_count == 1
+        assert root.parent is None
+        assert dcache.root_dentry(fs) is root
+
+    def test_root_path(self, env):
+        _c, _s, fs, dcache = env
+        assert dcache.root_dentry(fs).path_from_root() == "/"
+
+
+class TestHashTable:
+    def test_alloc_then_lookup(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        child = _positive_child(dcache, fs, root, "a")
+        assert dcache.d_lookup(root, "a") is child
+
+    def test_lookup_miss(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        assert dcache.d_lookup(root, "nope") is None
+
+    def test_same_name_different_parent(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        info = fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        d = dcache.d_alloc(root, "d", dcache.inode_table(fs).obtain(info))
+        inner_info = fs.create(info.ino, "x", 0o644, 0, 0)
+        inner = dcache.d_alloc(d, "x",
+                               dcache.inode_table(fs).obtain(inner_info))
+        outer_info = fs.create(fs.root_ino, "x", 0o644, 0, 0)
+        outer = dcache.d_alloc(root, "x",
+                               dcache.inode_table(fs).obtain(outer_info))
+        assert dcache.d_lookup(d, "x") is inner
+        assert dcache.d_lookup(root, "x") is outer
+
+    def test_double_alloc_rejected(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        _positive_child(dcache, fs, root, "a")
+        with pytest.raises(RuntimeError):
+            dcache.d_alloc(root, "a", None)
+
+    def test_negative_alloc(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        neg = dcache.d_alloc(root, "ghost", None)
+        assert neg.is_negative and neg.is_true_negative
+        assert neg.neg_kind == NEG_ENOENT
+
+    def test_charges_probe_costs(self, env):
+        costs, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        before = costs.count("ht_probe")
+        dcache.d_lookup(root, "a")
+        assert costs.count("ht_probe") == before + 1
+
+
+class TestNegativityTransitions:
+    def test_make_negative(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        child = _positive_child(dcache, fs, root, "a")
+        dcache.make_negative(child)
+        assert child.is_negative and child.inode is None
+
+    def test_make_positive_reuses_dentry(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        neg = dcache.d_alloc(root, "f", None)
+        info = fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        dcache.make_positive(neg, dcache.inode_table(fs).obtain(info))
+        assert not neg.is_negative
+        assert dcache.d_lookup(root, "f") is neg
+
+    def test_stub_alloc_and_kind(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        stub = dcache.d_alloc_stub(root, "s", 42, "reg")
+        assert stub.is_stub and not stub.is_true_negative
+        assert stub.stub == (42, "reg")
+
+    def test_enotdir_kind(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        neg = dcache.d_alloc(root, "f", None)
+        neg.neg_kind = NEG_ENOTDIR
+        assert neg.is_negative and neg.neg_kind == NEG_ENOTDIR
+
+
+class TestMove:
+    def test_move_rehashes(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        info = fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        d = dcache.d_alloc(root, "d", dcache.inode_table(fs).obtain(info))
+        child = _positive_child(dcache, fs, root, "f")
+        dcache.d_move(child, d, "g")
+        assert dcache.d_lookup(root, "f") is None
+        assert dcache.d_lookup(d, "g") is child
+        assert child.parent is d and child.name == "g"
+
+    def test_move_over_existing_drops_victim(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        a = _positive_child(dcache, fs, root, "a")
+        b = _positive_child(dcache, fs, root, "b")
+        dcache.d_move(a, root, "b")
+        assert b.dead
+        assert dcache.d_lookup(root, "b") is a
+
+    def test_children_follow_moved_dir(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        dinfo = fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        d = dcache.d_alloc(root, "d", dcache.inode_table(fs).obtain(dinfo))
+        finfo = fs.create(dinfo.ino, "f", 0o644, 0, 0)
+        f = dcache.d_alloc(d, "f", dcache.inode_table(fs).obtain(finfo))
+        dcache.d_move(d, root, "e")
+        assert dcache.d_lookup(d, "f") is f
+        assert f.path_from_root() == "/e/f"
+
+
+class TestEviction:
+    def test_lru_shrink_keeps_capacity(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        for i in range(150):
+            info = fs.create(fs.root_ino, f"f{i}", 0o644, 0, 0)
+            dcache.d_alloc(root, f"f{i}",
+                           dcache.inode_table(fs).obtain(info))
+        assert len(dcache) <= 100
+
+    def test_pinned_never_evicted(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        pinned = _positive_child(dcache, fs, root, "keep")
+        pinned.pin()
+        for i in range(150):
+            info = fs.create(fs.root_ino, f"f{i}", 0o644, 0, 0)
+            dcache.d_alloc(root, f"f{i}",
+                           dcache.inode_table(fs).obtain(info))
+        assert not pinned.dead
+        assert dcache.d_lookup(root, "keep") is pinned
+
+    def test_parents_kept_while_children_cached(self, env):
+        """The parent-in-cache invariant: evict bottom-up only."""
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        dinfo = fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        d = dcache.d_alloc(root, "d", dcache.inode_table(fs).obtain(dinfo))
+        finfo = fs.create(dinfo.ino, "f", 0o644, 0, 0)
+        f = dcache.d_alloc(d, "f", dcache.inode_table(fs).obtain(finfo))
+        f.pin()  # keep the leaf; the parent must then survive too
+        for i in range(200):
+            info = fs.create(fs.root_ino, f"x{i}", 0o644, 0, 0)
+            dcache.d_alloc(root, f"x{i}",
+                           dcache.inode_table(fs).obtain(info))
+        assert not d.dead and not f.dead
+
+    def test_eviction_breaks_completeness(self, env):
+        _c, stats, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        dinfo = fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        d = dcache.d_alloc(root, "d", dcache.inode_table(fs).obtain(dinfo))
+        d.dir_complete = True
+        finfo = fs.create(dinfo.ino, "f", 0o644, 0, 0)
+        f = dcache.d_alloc(d, "f", dcache.inode_table(fs).obtain(finfo))
+        dcache.evict(f)
+        assert d.dir_complete is False
+        assert d.child_evictions == 1
+        assert stats.get("dir_complete_broken") == 1
+
+    def test_evicted_dentry_seq_bumped(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        child = _positive_child(dcache, fs, root, "a")
+        seq = child.seq
+        dcache.evict(child)
+        assert child.dead and child.seq == seq + 1
+
+    def test_drop_all(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        for i in range(20):
+            info = fs.create(fs.root_ino, f"f{i}", 0o644, 0, 0)
+            dcache.d_alloc(root, f"f{i}",
+                           dcache.inode_table(fs).obtain(info))
+        dcache.drop_all()
+        assert len(root.children) == 0
+
+
+class TestDentryTreeHelpers:
+    def test_ancestors_and_descendants(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        dinfo = fs.mkdir(fs.root_ino, "a", 0o755, 0, 0)
+        a = dcache.d_alloc(root, "a", dcache.inode_table(fs).obtain(dinfo))
+        binfo = fs.mkdir(dinfo.ino, "b", 0o755, 0, 0)
+        b = dcache.d_alloc(a, "b", dcache.inode_table(fs).obtain(binfo))
+        assert list(b.ancestors()) == [a, root]
+        assert set(root.descendants()) == {a, b}
+        assert a.is_ancestor_of(b)
+        assert not b.is_ancestor_of(a)
+
+    def test_path_from_root(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        a = _positive_child(dcache, fs, root, "a")
+        assert a.path_from_root() == "/a"
+
+    def test_unbalanced_unpin_rejected(self, env):
+        _c, _s, fs, dcache = env
+        root = dcache.root_dentry(fs)
+        child = _positive_child(dcache, fs, root, "a")
+        with pytest.raises(RuntimeError):
+            child.unpin()
+
+
+class TestInodeTable:
+    def test_identity_per_ino(self, env):
+        _c, _s, fs, dcache = env
+        table = dcache.inode_table(fs)
+        info = fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        first = table.obtain(info)
+        second = table.obtain(fs.lookup(fs.root_ino, "f"))
+        assert first is second
+
+    def test_obtain_refreshes_nlink(self, env):
+        _c, _s, fs, dcache = env
+        table = dcache.inode_table(fs)
+        info = fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        inode = table.obtain(info)
+        fs.link(fs.root_ino, "g", info.ino)
+        table.obtain(fs.lookup(fs.root_ino, "g"))
+        assert inode.nlink == 2
+
+    def test_apply_bumps_seq(self, env):
+        _c, _s, fs, dcache = env
+        table = dcache.inode_table(fs)
+        info = fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        inode = table.obtain(info)
+        seq = inode.seq
+        inode.apply(fs.setattr(info.ino, mode=0o600))
+        assert inode.seq == seq + 1 and inode.perm_bits == 0o600

@@ -1,0 +1,189 @@
+"""Directory completeness caching behaviours (§5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import O_CREAT, O_DIRECTORY, O_RDONLY, O_RDWR, errors, make_kernel
+
+
+@pytest.fixture
+def kernel():
+    return make_kernel("optimized")
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task(uid=0, gid=0)
+
+
+def _root_child(kernel, name):
+    return kernel.dcache.root_dentry(kernel.root_fs).children[name]
+
+
+def _mkfile(kernel, task, path):
+    fd = kernel.sys.open(task, path, O_CREAT | O_RDWR)
+    kernel.sys.close(task, fd)
+
+
+class TestFlagLifecycle:
+    def test_mkdir_sets_complete(self, kernel, task):
+        kernel.sys.mkdir(task, "/fresh")
+        assert _root_child(kernel, "fresh").dir_complete
+        assert kernel.stats.get("dir_complete_set") == 1
+
+    def test_full_readdir_sets_complete(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        _mkfile(kernel, task, "/d/f")
+        kernel.drop_caches()
+        kernel.sys.listdir(task, "/d")
+        assert _root_child(kernel, "d").dir_complete
+
+    def test_seeked_sequence_does_not_set(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        for i in range(5):
+            _mkfile(kernel, task, f"/d/f{i}")
+        kernel.drop_caches()
+        fd = kernel.sys.open(task, "/d", O_RDONLY | O_DIRECTORY)
+        kernel.sys.getdents(task, fd, 2)
+        kernel.sys.lseek(task, fd, 3)
+        while kernel.sys.getdents(task, fd, 2):
+            pass
+        kernel.sys.close(task, fd)
+        assert not _root_child(kernel, "d").dir_complete
+
+    def test_partial_sequence_does_not_set(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        for i in range(5):
+            _mkfile(kernel, task, f"/d/f{i}")
+        kernel.drop_caches()
+        fd = kernel.sys.open(task, "/d", O_RDONLY | O_DIRECTORY)
+        kernel.sys.getdents(task, fd, 2)  # never reaches the end
+        kernel.sys.close(task, fd)
+        assert not _root_child(kernel, "d").dir_complete
+
+    def test_rewind_and_complete(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        for i in range(4):
+            _mkfile(kernel, task, f"/d/f{i}")
+        kernel.drop_caches()
+        fd = kernel.sys.open(task, "/d", O_RDONLY | O_DIRECTORY)
+        kernel.sys.getdents(task, fd, 2)
+        kernel.sys.lseek(task, fd, 0)  # full restart, re-eligible
+        while kernel.sys.getdents(task, fd, 3):
+            pass
+        kernel.sys.close(task, fd)
+        assert _root_child(kernel, "d").dir_complete
+
+    def test_baseline_never_sets(self):
+        kernel = make_kernel("baseline")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/d")
+        kernel.sys.listdir(task, "/d")
+        assert not _root_child(kernel, "d").dir_complete
+
+
+class TestServingFromCache:
+    def test_second_listing_served_cached(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        for i in range(8):
+            _mkfile(kernel, task, f"/d/f{i}")
+        kernel.sys.listdir(task, "/d")
+        kernel.stats.reset()
+        listing = kernel.sys.listdir(task, "/d")
+        assert len(listing) == 8
+        assert kernel.stats.get("readdir_cached") == 1
+        assert kernel.stats.get("readdir_fs") == 0
+
+    def test_miss_in_complete_dir_is_proven_enoent(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        kernel.stats.reset()
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/d/absent")
+        assert kernel.stats.get("dir_complete_elide") == 1
+        assert kernel.stats.get("fs_lookup") == 0
+
+    def test_creation_in_complete_dir_elides_fs_lookup(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        kernel.stats.reset()
+        _mkfile(kernel, task, "/d/newfile")
+        assert kernel.stats.get("dir_complete_elide") == 1
+        # the create itself of course calls the FS, but no lookup did
+        assert kernel.stats.get("fs_lookup") == 0
+
+    def test_interleaved_create_keeps_flag_and_listing(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        _mkfile(kernel, task, "/d/a")
+        assert _root_child(kernel, "d").dir_complete
+        listing = {n for n, _i, _t in kernel.sys.listdir(task, "/d")}
+        assert listing == {"a"}
+        _mkfile(kernel, task, "/d/b")
+        kernel.sys.unlink(task, "/d/a")
+        assert _root_child(kernel, "d").dir_complete
+        listing = {n for n, _i, _t in kernel.sys.listdir(task, "/d")}
+        assert listing == {"b"}
+
+    def test_cached_listing_excludes_negatives(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        _mkfile(kernel, task, "/d/real")
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/d/phantom")  # negative dentry
+        listing = {n for n, _i, _t in kernel.sys.listdir(task, "/d")}
+        assert listing == {"real"}
+
+    def test_stub_dentries_from_readdir(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        for i in range(3):
+            _mkfile(kernel, task, f"/d/f{i}")
+        kernel.drop_caches()
+        kernel.sys.listdir(task, "/d")
+        dentry = _root_child(kernel, "d")
+        stubs = [c for c in dentry.children.values() if c.is_stub]
+        assert len(stubs) == 3
+
+    def test_eviction_clears_flag_then_fs_serves(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        for i in range(6):
+            _mkfile(kernel, task, f"/d/f{i}")
+        dentry = _root_child(kernel, "d")
+        assert dentry.dir_complete
+        victim = next(iter(dentry.children.values()))
+        kernel.dcache.evict(victim)
+        assert not dentry.dir_complete
+        kernel.stats.reset()
+        listing = kernel.sys.listdir(task, "/d")
+        assert len(listing) == 6
+        assert kernel.stats.get("readdir_fs") == 1
+
+
+class TestGetdentsPaging:
+    def test_pages_cover_everything_once(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        for i in range(10):
+            _mkfile(kernel, task, f"/d/n{i:02d}")
+        fd = kernel.sys.open(task, "/d", O_RDONLY | O_DIRECTORY)
+        seen = []
+        while True:
+            chunk = kernel.sys.getdents(task, fd, 3)
+            if not chunk:
+                break
+            seen.extend(name for name, _i, _t in chunk)
+        kernel.sys.close(task, fd)
+        assert sorted(seen) == [f"n{i:02d}" for i in range(10)]
+
+    def test_getdents_on_file_rejected(self, kernel, task):
+        _mkfile(kernel, task, "/plain")
+        fd = kernel.sys.open(task, "/plain", O_RDONLY)
+        with pytest.raises(errors.ENOTDIR):
+            kernel.sys.getdents(task, fd)
+
+    def test_rewind_rereads_fresh_state(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        _mkfile(kernel, task, "/d/a")
+        fd = kernel.sys.open(task, "/d", O_RDONLY | O_DIRECTORY)
+        first = kernel.sys.readdir(task, fd)
+        _mkfile(kernel, task, "/d/b")
+        kernel.sys.lseek(task, fd, 0)
+        second = kernel.sys.readdir(task, fd)
+        kernel.sys.close(task, fd)
+        assert len(first) == 1 and len(second) == 2

@@ -1,0 +1,132 @@
+"""Unit tests for the block device and buffer cache cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs.disk import BlockAllocator, BlockDevice
+from repro.sim.costs import CostModel, UNIT
+
+
+@pytest.fixture
+def costs():
+    return CostModel(dict(UNIT))
+
+
+class TestBlockDevice:
+    def test_first_read_seeks(self, costs):
+        device = BlockDevice(costs)
+        device.read_block(100)
+        assert costs.count("disk_seek") == 1
+        assert costs.count("disk_seq_block") == 1
+
+    def test_sequential_read_no_seek(self, costs):
+        device = BlockDevice(costs)
+        device.read_block(100)
+        device.read_block(101)
+        device.read_block(102)
+        assert costs.count("disk_seek") == 1
+        assert costs.count("disk_seq_block") == 3
+
+    def test_backward_read_seeks(self, costs):
+        device = BlockDevice(costs)
+        device.read_block(100)
+        device.read_block(99)
+        assert costs.count("disk_seek") == 2
+
+    def test_read_run(self, costs):
+        device = BlockDevice(costs)
+        device.read_run(10, 4)
+        assert costs.count("disk_seq_block") == 4
+        assert costs.count("disk_seek") == 1
+
+    def test_out_of_range_rejected(self, costs):
+        device = BlockDevice(costs, size_blocks=10)
+        with pytest.raises(ValueError):
+            device.read_block(10)
+
+    def test_write_tracks_head(self, costs):
+        device = BlockDevice(costs)
+        device.write_block(5)
+        device.read_block(6)
+        assert costs.count("disk_seek") == 1
+
+
+class TestBlockAllocator:
+    def test_allocates_from_first_free(self):
+        alloc = BlockAllocator(100, first_free=10)
+        assert alloc.allocate() == 10
+
+    def test_near_hint(self):
+        alloc = BlockAllocator(100, first_free=0)
+        first = alloc.allocate()
+        near = alloc.allocate(near=50)
+        assert near == 51
+        assert first != near
+
+    def test_no_double_allocation(self):
+        alloc = BlockAllocator(32)
+        blocks = {alloc.allocate() for _ in range(32)}
+        assert len(blocks) == 32
+
+    def test_full_device(self):
+        alloc = BlockAllocator(4)
+        for _ in range(4):
+            alloc.allocate()
+        with pytest.raises(MemoryError):
+            alloc.allocate()
+
+    def test_free_and_reuse(self):
+        alloc = BlockAllocator(4)
+        blocks = [alloc.allocate() for _ in range(4)]
+        alloc.free(blocks[1])
+        assert alloc.allocate() == blocks[1]
+
+
+class TestPageCache:
+    def _cache(self, costs, readahead=4):
+        from repro.fs.pagecache import PageCache
+        device = BlockDevice(costs)
+        return PageCache(costs, device, capacity_blocks=8,
+                         readahead=readahead)
+
+    def test_miss_then_hit(self, costs):
+        cache = self._cache(costs)
+        assert cache.access(10) is False
+        assert cache.access(10) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_readahead_populates(self, costs):
+        cache = self._cache(costs, readahead=4)
+        cache.access(10)
+        for block in (11, 12, 13):
+            assert cache.access(block) is True
+
+    def test_lru_eviction(self, costs):
+        cache = self._cache(costs, readahead=1)
+        for block in range(10):
+            cache.access(block * 100)
+        assert not cache.contains(0)
+        assert cache.contains(900)
+
+    def test_write_hit_is_async(self, costs):
+        cache = self._cache(costs)
+        cache.access(5)
+        seeks_before = costs.count("disk_seek")
+        cache.access(5, for_write=True)
+        assert costs.count("disk_seek") == seeks_before
+
+    def test_writeback_flushes_dirty(self, costs):
+        cache = self._cache(costs)
+        cache.access(5)
+        cache.access(5, for_write=True)
+        cache.access(6, for_write=True)
+        assert cache.writeback() == 2
+        assert cache.writeback() == 0
+
+    def test_drop_caches(self, costs):
+        cache = self._cache(costs)
+        cache.access(10)
+        cache.drop_caches()
+        assert len(cache) == 0
+        assert cache.access(10) is False

@@ -1,0 +1,124 @@
+"""Unit tests for the DLFS-like path-keyed file system (§7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import O_CREAT, O_RDWR, errors, make_kernel
+from repro.fs.dlfs import DlfsLikeFs
+from repro.sim.costs import CostModel, UNIT
+
+
+@pytest.fixture
+def fs():
+    return DlfsLikeFs(CostModel(dict(UNIT)))
+
+
+class TestDlfsBasics:
+    def test_create_lookup(self, fs):
+        fs.create(fs.root_ino, "f", 0o644, 1, 2)
+        info = fs.lookup(fs.root_ino, "f")
+        assert info is not None and info.uid == 1
+
+    def test_lookup_missing(self, fs):
+        assert fs.lookup(fs.root_ino, "ghost") is None
+
+    def test_nested_dirs(self, fs):
+        a = fs.mkdir(fs.root_ino, "a", 0o755, 0, 0)
+        b = fs.mkdir(a.ino, "b", 0o755, 0, 0)
+        fs.create(b.ino, "f", 0o644, 0, 0)
+        assert fs.lookup(b.ino, "f") is not None
+
+    def test_readdir(self, fs):
+        fs.create(fs.root_ino, "x", 0o644, 0, 0)
+        d = fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        fs.create(d.ino, "inner", 0o644, 0, 0)
+        names = {name for name, _i, _t in fs.readdir(fs.root_ino)}
+        assert names == {"x", "d"}  # inner not listed at the root
+
+    def test_write_read(self, fs):
+        info = fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        fs.write(info.ino, 0, b"payload")
+        assert fs.read(info.ino, 0, 100) == b"payload"
+
+    def test_unlink(self, fs):
+        fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        fs.unlink(fs.root_ino, "f")
+        assert fs.lookup(fs.root_ino, "f") is None
+
+    def test_rmdir_nonempty(self, fs):
+        d = fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        fs.create(d.ino, "f", 0o644, 0, 0)
+        with pytest.raises(errors.ENOTEMPTY):
+            fs.rmdir(fs.root_ino, "d")
+
+    def test_no_hard_links(self, fs):
+        info = fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        with pytest.raises(errors.ENOTSUP):
+            fs.link(fs.root_ino, "g", info.ino)
+
+
+class TestDlfsRename:
+    def test_rename_rekeys_descendants(self, fs):
+        a = fs.mkdir(fs.root_ino, "a", 0o755, 0, 0)
+        b = fs.mkdir(a.ino, "b", 0o755, 0, 0)
+        fs.create(b.ino, "f1", 0o644, 0, 0)
+        fs.create(b.ino, "f2", 0o644, 0, 0)
+        fs.rename(fs.root_ino, "a", fs.root_ino, "z")
+        # a + b + f1 + f2 all re-keyed.
+        assert fs.rekey_count == 4
+        z = fs.lookup(fs.root_ino, "z")
+        zb = fs.lookup(z.ino, "b")
+        assert fs.lookup(zb.ino, "f1") is not None
+        assert fs.lookup(fs.root_ino, "a") is None
+
+    def test_inode_identity_survives_rename(self, fs):
+        info = fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        fs.rename(fs.root_ino, "f", fs.root_ino, "g")
+        assert fs.lookup(fs.root_ino, "g").ino == info.ino
+        assert fs.getattr(info.ino).ino == info.ino
+
+    def test_rename_charges_per_object(self, fs):
+        d = fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        for i in range(10):
+            fs.create(d.ino, f"f{i}", 0o644, 0, 0)
+        before = fs.costs.now_ns
+        fs.rename(fs.root_ino, "d", fs.root_ino, "e")
+        elapsed = fs.costs.now_ns - before
+        assert elapsed > 11 * 20_000  # 11 objects x ~24 us re-key
+
+
+class TestDlfsUnderVfs:
+    def test_full_kernel_stack(self):
+        costs = CostModel()
+        kernel = make_kernel("baseline", root_fs=DlfsLikeFs(costs),
+                             costs=costs)
+        task = kernel.spawn_task(uid=0, gid=0)
+        sys = kernel.sys
+        sys.mkdir(task, "/docs")
+        fd = sys.open(task, "/docs/readme", O_CREAT | O_RDWR)
+        sys.write(task, fd, b"hello dlfs")
+        sys.close(task, fd)
+        assert sys.stat(task, "/docs/readme").size == 10
+        sys.rename(task, "/docs", "/papers")
+        assert sys.stat(task, "/papers/readme").size == 10
+        with pytest.raises(errors.ENOENT):
+            sys.stat(task, "/docs/readme")
+
+    def test_dual_equivalence_on_dlfs(self):
+        from repro.core.kernel import BASELINE, OPTIMIZED
+        from repro.testing import DualKernel
+
+        dual = DualKernel((BASELINE, OPTIMIZED),
+                          fs_factory=lambda costs: DlfsLikeFs(costs))
+        root = dual.spawn_task(uid=0, gid=0)
+        dual.mkdir(root, "/a")
+        fd = dual.open(root, "/a/f", O_CREAT | O_RDWR)
+        dual.close(root, fd)
+        dual.stat(root, "/a/f")
+        dual.stat(root, "/a/f")
+        dual.rename(root, "/a", "/b")
+        with pytest.raises(errors.ENOENT):
+            dual.stat(root, "/a/f")
+        assert dual.stat(root, "/b/f").filetype == "reg"
+        dual.check_invariants()

@@ -1,0 +1,198 @@
+"""Operation-count tests: the fastpath's algorithmic claims.
+
+Using the UNIT cost model (every primitive = 1 ns), these tests assert
+the *counts* behind the paper's complexity arguments: the fastpath does a
+constant number of hash-table probes and permission checks regardless of
+path depth, while the baseline's grow linearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import O_CREAT, O_RDWR, errors, make_kernel
+from repro.sim.costs import CostModel, UNIT
+
+
+def _kernel(profile, **overrides):
+    return make_kernel(profile, costs=CostModel(dict(UNIT)), **overrides)
+
+
+def _deep_tree(kernel, task, depth, prefix="d"):
+    path = ""
+    for i in range(depth):
+        path = f"{path}/{prefix}{i}"
+        kernel.sys.mkdir(task, path)
+    leaf = f"{path}/leaf"
+    fd = kernel.sys.open(task, leaf, O_CREAT | O_RDWR)
+    kernel.sys.close(task, fd)
+    return leaf
+
+
+def _counts_for_stat(kernel, task, path):
+    kernel.sys.stat(task, path)  # warm
+    kernel.sys.stat(task, path)
+    kernel.costs.reset_attribution()
+    kernel.sys.stat(task, path)
+    return dict(kernel.costs.counts)
+
+
+class TestConstantWorkFastpath:
+    @pytest.mark.parametrize("depth", [1, 4, 8])
+    def test_one_dlht_probe_any_depth(self, depth):
+        kernel = _kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        leaf = _deep_tree(kernel, task, depth)
+        counts = _counts_for_stat(kernel, task, leaf)
+        assert counts.get("dlht_probe") == 1
+        assert counts.get("pcc_probe") == 1
+        assert counts.get("sig_compare") == 1
+
+    @pytest.mark.parametrize("depth", [1, 4, 8])
+    def test_no_per_component_permission_checks(self, depth):
+        kernel = _kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        leaf = _deep_tree(kernel, task, depth)
+        counts = _counts_for_stat(kernel, task, leaf)
+        assert counts.get("perm_check_dac", 0) == 0
+        assert counts.get("ht_probe", 0) == 0
+
+    @pytest.mark.parametrize("depth", [1, 4, 8])
+    def test_baseline_scales_linearly(self, depth):
+        kernel = _kernel("baseline")
+        task = kernel.spawn_task(uid=0, gid=0)
+        leaf = _deep_tree(kernel, task, depth)
+        counts = _counts_for_stat(kernel, task, leaf)
+        assert counts.get("perm_check_dac") == depth + 1
+        assert counts.get("ht_probe") == depth + 1
+        assert counts.get("dlht_probe", 0) == 0
+
+    def test_hashing_still_linear_in_bytes(self):
+        kernel = _kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        shallow = _deep_tree(kernel, task, 1, prefix="s")
+        counts_shallow = _counts_for_stat(kernel, task, shallow)
+        deep = _deep_tree(kernel, task, 8, prefix="e")
+        counts_deep = _counts_for_stat(kernel, task, deep)
+        assert counts_deep.get("sig_hash") > counts_shallow.get("sig_hash")
+
+
+class TestFastpathFallbacks:
+    def test_first_lookup_misses_then_hits(self):
+        kernel = _kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/d")
+        fd = kernel.sys.open(task, "/d/f", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        kernel.drop_caches()
+        kernel.stats.reset()
+        kernel.sys.stat(task, "/d/f")
+        assert kernel.stats.get("fastpath_miss") == 1
+        kernel.sys.stat(task, "/d/f")
+        assert kernel.stats.get("fastpath_hit") == 1
+
+    def test_negative_fastpath_hit(self):
+        kernel = _kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/missing")
+        kernel.stats.reset()
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/missing")
+        assert kernel.stats.get("fastpath_hit") == 1
+        assert kernel.stats.get("negative_hit") == 1
+        assert kernel.stats.get("fs_lookup") == 0
+
+    def test_deep_negative_fastpath_hit(self):
+        kernel = _kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/gone/a/b/c")
+        kernel.stats.reset()
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/gone/a/b/c")
+        assert kernel.stats.get("fastpath_hit") == 1
+        assert kernel.stats.get("fs_lookup") == 0
+
+    def test_deep_negative_disabled_misses(self):
+        kernel = _kernel("optimized", deep_negative=False)
+        task = kernel.spawn_task(uid=0, gid=0)
+        for _ in range(2):
+            with pytest.raises(errors.ENOENT):
+                kernel.sys.stat(task, "/gone/a/b/c")
+        # Without deep negatives the full path never enters the DLHT.
+        assert kernel.stats.get("fastpath_hit") == 0
+
+    def test_enotdir_deep_negative(self):
+        kernel = _kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        fd = kernel.sys.open(task, "/file", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        with pytest.raises(errors.ENOTDIR):
+            kernel.sys.stat(task, "/file/below/deeper")
+        kernel.stats.reset()
+        with pytest.raises(errors.ENOTDIR):
+            kernel.sys.stat(task, "/file/below/deeper")
+        assert kernel.stats.get("fastpath_hit") == 1
+
+    def test_force_fastpath_miss_config(self):
+        kernel = _kernel("optimized", force_fastpath_miss=True)
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/d")
+        for _ in range(3):
+            kernel.sys.stat(task, "/d")
+        assert kernel.stats.get("fastpath_hit") == 0
+        assert kernel.stats.get("fastpath_miss") >= 3
+
+    def test_stub_falls_back_once(self):
+        kernel = _kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/d")
+        fd = kernel.sys.open(task, "/d/f", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        kernel.drop_caches()
+        kernel.sys.listdir(task, "/d")  # creates a stub for f
+        kernel.stats.reset()
+        kernel.sys.stat(task, "/d/f")  # stub fill: getattr, no fs_lookup
+        assert kernel.stats.get("stub_fill") == 1
+        assert kernel.stats.get("fs_lookup") == 0
+
+    def test_symlink_followed_via_stored_target_signature(self):
+        kernel = _kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        fd = kernel.sys.open(task, "/real", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        kernel.sys.symlink(task, "/real", "/ln")
+        kernel.sys.stat(task, "/ln")  # populate link target state
+        kernel.stats.reset()
+        kernel.costs.reset_attribution()
+        kernel.sys.stat(task, "/ln")
+        assert kernel.stats.get("fastpath_hit") == 1
+        # Two DLHT probes: the link path, then the stored target sig.
+        assert kernel.costs.count("dlht_probe") == 2
+
+
+class TestRelativeLookups:
+    def test_relative_resumes_hash_state(self):
+        """Relative lookups hash only the relative suffix (§3.1)."""
+        kernel = _kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        leaf = _deep_tree(kernel, task, 6)
+        parent = leaf.rsplit("/", 1)[0]
+        kernel.sys.chdir(task, parent)
+        kernel.sys.stat(task, "leaf")
+        kernel.sys.stat(task, "leaf")
+        kernel.costs.reset_attribution()
+        kernel.sys.stat(task, "leaf")
+        # Only "leaf" (4 chars + separator) was hashed: one sig_hash call.
+        assert kernel.costs.count("sig_hash") == 1
+        assert kernel.costs.count("dlht_probe") == 1
+
+    def test_relative_equals_absolute_result(self):
+        kernel = _kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        leaf = _deep_tree(kernel, task, 3)
+        parent = leaf.rsplit("/", 1)[0]
+        kernel.sys.chdir(task, parent)
+        assert kernel.sys.stat(task, "leaf").ino == \
+            kernel.sys.stat(task, leaf).ino

@@ -1,0 +1,252 @@
+"""Unit tests for the low-level file systems (simext, tmpfs, pseudofs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.fs import base
+from repro.fs.pseudofs import PseudoFs
+from repro.fs.simext import SimExtFs
+from repro.fs.tmpfs import TmpFs
+from repro.sim.costs import CostModel, UNIT
+
+
+@pytest.fixture(params=["simext", "tmpfs"])
+def fs(request):
+    costs = CostModel(dict(UNIT))
+    if request.param == "simext":
+        return SimExtFs(costs)
+    return TmpFs(costs)
+
+
+class TestCommonSemantics:
+    def test_root_is_dir(self, fs):
+        info = fs.getattr(fs.root_ino)
+        assert info.is_dir and info.nlink >= 2
+
+    def test_create_and_lookup(self, fs):
+        created = fs.create(fs.root_ino, "f", 0o644, 1, 2)
+        found = fs.lookup(fs.root_ino, "f")
+        assert found is not None
+        assert found.ino == created.ino
+        assert found.uid == 1 and found.gid == 2
+        assert found.filetype == base.DT_REG
+
+    def test_lookup_missing_returns_none(self, fs):
+        assert fs.lookup(fs.root_ino, "ghost") is None
+
+    def test_duplicate_create_rejected(self, fs):
+        fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        with pytest.raises(errors.EEXIST):
+            fs.create(fs.root_ino, "f", 0o644, 0, 0)
+
+    def test_mkdir_bumps_parent_nlink(self, fs):
+        before = fs.getattr(fs.root_ino).nlink
+        fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        assert fs.getattr(fs.root_ino).nlink == before + 1
+
+    def test_readdir_lists_everything(self, fs):
+        fs.create(fs.root_ino, "a", 0o644, 0, 0)
+        fs.mkdir(fs.root_ino, "b", 0o755, 0, 0)
+        fs.symlink(fs.root_ino, "c", "/a", 0, 0)
+        entries = {name: dtype for name, _ino, dtype in
+                   fs.readdir(fs.root_ino)}
+        assert entries == {"a": base.DT_REG, "b": base.DT_DIR,
+                           "c": base.DT_LNK}
+
+    def test_write_read_roundtrip(self, fs):
+        info = fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        fs.write(info.ino, 0, b"hello world")
+        assert fs.read(info.ino, 0, 5) == b"hello"
+        assert fs.read(info.ino, 6, 100) == b"world"
+        assert fs.getattr(info.ino).size == 11
+
+    def test_write_at_offset_pads(self, fs):
+        info = fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        fs.write(info.ino, 4, b"x")
+        assert fs.read(info.ino, 0, 5) == b"\0\0\0\0x"
+
+    def test_unlink_removes(self, fs):
+        fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        fs.unlink(fs.root_ino, "f")
+        assert fs.lookup(fs.root_ino, "f") is None
+
+    def test_unlink_missing(self, fs):
+        with pytest.raises(errors.ENOENT):
+            fs.unlink(fs.root_ino, "ghost")
+
+    def test_unlink_directory_rejected(self, fs):
+        fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        with pytest.raises(errors.EISDIR):
+            fs.unlink(fs.root_ino, "d")
+
+    def test_rmdir_empty(self, fs):
+        fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        fs.rmdir(fs.root_ino, "d")
+        assert fs.lookup(fs.root_ino, "d") is None
+
+    def test_rmdir_nonempty_rejected(self, fs):
+        info = fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        fs.create(info.ino, "f", 0o644, 0, 0)
+        with pytest.raises(errors.ENOTEMPTY):
+            fs.rmdir(fs.root_ino, "d")
+
+    def test_rmdir_file_rejected(self, fs):
+        fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        with pytest.raises(errors.ENOTDIR):
+            fs.rmdir(fs.root_ino, "f")
+
+    def test_hard_link_shares_inode(self, fs):
+        info = fs.create(fs.root_ino, "a", 0o644, 0, 0)
+        linked = fs.link(fs.root_ino, "b", info.ino)
+        assert linked.ino == info.ino
+        assert fs.getattr(info.ino).nlink == 2
+        fs.unlink(fs.root_ino, "a")
+        assert fs.getattr(info.ino).nlink == 1
+        assert fs.read(info.ino, 0, 1) == b""
+
+    def test_link_to_dir_rejected(self, fs):
+        info = fs.mkdir(fs.root_ino, "d", 0o755, 0, 0)
+        with pytest.raises(errors.EPERM):
+            fs.link(fs.root_ino, "dl", info.ino)
+
+    def test_symlink_and_readlink(self, fs):
+        info = fs.symlink(fs.root_ino, "l", "/target/path", 0, 0)
+        assert info.is_symlink
+        assert fs.readlink(info.ino) == "/target/path"
+        assert info.size == len("/target/path")
+
+    def test_readlink_of_file_rejected(self, fs):
+        info = fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        with pytest.raises(errors.EINVAL):
+            fs.readlink(info.ino)
+
+    def test_rename_within_dir(self, fs):
+        fs.create(fs.root_ino, "old", 0o644, 0, 0)
+        fs.rename(fs.root_ino, "old", fs.root_ino, "new")
+        assert fs.lookup(fs.root_ino, "old") is None
+        assert fs.lookup(fs.root_ino, "new") is not None
+
+    def test_rename_across_dirs_fixes_nlink(self, fs):
+        a = fs.mkdir(fs.root_ino, "a", 0o755, 0, 0)
+        b = fs.mkdir(fs.root_ino, "b", 0o755, 0, 0)
+        fs.mkdir(a.ino, "sub", 0o755, 0, 0)
+        a_links = fs.getattr(a.ino).nlink
+        b_links = fs.getattr(b.ino).nlink
+        fs.rename(a.ino, "sub", b.ino, "sub")
+        assert fs.getattr(a.ino).nlink == a_links - 1
+        assert fs.getattr(b.ino).nlink == b_links + 1
+
+    def test_rename_over_file(self, fs):
+        src = fs.create(fs.root_ino, "src", 0o644, 0, 0)
+        fs.create(fs.root_ino, "dst", 0o644, 0, 0)
+        fs.rename(fs.root_ino, "src", fs.root_ino, "dst")
+        assert fs.lookup(fs.root_ino, "dst").ino == src.ino
+
+    def test_rename_dir_over_nonempty_rejected(self, fs):
+        fs.mkdir(fs.root_ino, "src", 0o755, 0, 0)
+        dst = fs.mkdir(fs.root_ino, "dst", 0o755, 0, 0)
+        fs.create(dst.ino, "f", 0o644, 0, 0)
+        with pytest.raises(errors.ENOTEMPTY):
+            fs.rename(fs.root_ino, "src", fs.root_ino, "dst")
+
+    def test_setattr_mode_preserves_type(self, fs):
+        info = fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        updated = fs.setattr(info.ino, mode=0o600)
+        assert updated.filetype == base.DT_REG
+        assert updated.mode & 0o7777 == 0o600
+
+    def test_setattr_truncate(self, fs):
+        info = fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        fs.write(info.ino, 0, b"0123456789")
+        fs.setattr(info.ino, size=4)
+        assert fs.read(info.ino, 0, 100) == b"0123"
+
+    def test_stale_inode(self, fs):
+        with pytest.raises(errors.ENOENT):
+            fs.getattr(424242)
+
+
+class TestSimExtCosts:
+    def test_lookup_charges_fs_base(self):
+        costs = CostModel(dict(UNIT))
+        fs = SimExtFs(costs)
+        fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        before = costs.count("fs_lookup_base")
+        fs.lookup(fs.root_ino, "f")
+        assert costs.count("fs_lookup_base") == before + 1
+
+    def test_large_directory_uses_htree(self):
+        costs = CostModel(dict(UNIT))
+        fs = SimExtFs(costs)
+        for i in range(200):  # > HTREE_THRESHOLD_BLOCKS * 16 entries
+            fs.create(fs.root_ino, f"f{i}", 0o644, 0, 0)
+        before = costs.count("fs_dirblock_scan")
+        fs.lookup(fs.root_ino, "f0")
+        # htree: index + leaf, not a linear scan of ~13 blocks.
+        assert costs.count("fs_dirblock_scan") - before == 2
+
+    def test_cold_cache_pays_device_time(self):
+        costs = CostModel()
+        fs = SimExtFs(costs)
+        fs.create(fs.root_ino, "f", 0o644, 0, 0)
+        fs.lookup(fs.root_ino, "f")
+        fs.drop_caches()
+        start = costs.now_ns
+        fs.lookup(fs.root_ino, "f")
+        cold = costs.now_ns - start
+        start = costs.now_ns
+        fs.lookup(fs.root_ino, "f")
+        warm = costs.now_ns - start
+        assert cold > 10 * warm
+
+
+class TestPseudoFs:
+    def _make(self):
+        costs = CostModel(dict(UNIT))
+        fs = PseudoFs(costs)
+        return fs
+
+    def test_static_entries(self):
+        fs = self._make()
+        fs.add_static_file(fs.root_ino, "version", "6.0.0")
+        info = fs.lookup(fs.root_ino, "version")
+        assert info is not None
+        assert fs.read(info.ino, 0, 10) == b"6.0.0"
+
+    def test_provider_listing_changes(self):
+        fs = self._make()
+        pids = {"17": (base.S_IFDIR | 0o555, None)}
+        fs.set_provider(fs.root_ino, lambda: dict(pids))
+        assert fs.lookup(fs.root_ino, "17") is not None
+        assert fs.lookup(fs.root_ino, "99") is None
+        pids["99"] = (base.S_IFDIR | 0o555, None)
+        assert fs.lookup(fs.root_ino, "99") is not None
+
+    def test_stable_inode_identity(self):
+        fs = self._make()
+        fs.add_static_file(fs.root_ino, "stat", "cpu 1 2 3")
+        first = fs.lookup(fs.root_ino, "stat").ino
+        second = fs.lookup(fs.root_ino, "stat").ino
+        assert first == second
+
+    def test_readonly(self):
+        fs = self._make()
+        with pytest.raises(errors.EPERM):
+            fs.create(fs.root_ino, "nope", 0o644, 0, 0)
+        with pytest.raises(errors.EPERM):
+            fs.unlink(fs.root_ino, "nope")
+
+    def test_no_baseline_negative_dentries_flag(self):
+        assert PseudoFs(CostModel(dict(UNIT))).baseline_negative_dentries \
+            is False
+
+    def test_nested_static_dirs(self):
+        fs = self._make()
+        sys_ino = fs.add_static_dir(fs.root_ino, "sys")
+        fs.add_static_file(sys_ino, "hostname", "node1")
+        info = fs.lookup(sys_ino, "hostname")
+        assert info is not None
+        names = {name for name, _i, _t in fs.readdir(sys_ino)}
+        assert names == {"hostname"}

@@ -1,0 +1,137 @@
+"""Long deterministic fuzz: thousands of mixed operations, two kernels.
+
+Complements the hypothesis tests with deep, seeded runs that mix every
+feature — creations, renames, symlinks, chmods, identity changes, mounts,
+readdir storms, cache drops — and check equivalence plus invariants
+throughout.  Seeds are fixed so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import O_CREAT, O_RDWR, errors
+from repro.core.kernel import BASELINE, OPTIMIZED
+from repro.testing import DualKernel
+
+NAMES = ["alpha", "beta", "gamma", "delta", "x"]
+MODES = [0o755, 0o750, 0o700, 0o555, 0o000, 0o777]
+
+
+class Fuzzer:
+    def __init__(self, seed: int, configs=None):
+        self.rng = random.Random(seed)
+        self.dual = DualKernel(configs or (BASELINE, OPTIMIZED))
+        self.root = self.dual.spawn_task(uid=0, gid=0)
+        self.users = [self.dual.spawn_task(uid=1000 + i, gid=1000 + i)
+                      for i in range(2)]
+        self.open_fds = []
+
+    def random_path(self, depth=None) -> str:
+        depth = depth or self.rng.randint(1, 4)
+        return "/" + "/".join(self.rng.choice(NAMES)
+                              for _ in range(depth))
+
+    def random_task(self):
+        if self.rng.random() < 0.6:
+            return self.root
+        return self.rng.choice(self.users)
+
+    def step(self) -> None:
+        op = self.rng.randrange(100)
+        task = self.random_task()
+        path = self.random_path()
+        try:
+            if op < 20:
+                self.dual.stat(task, path)
+            elif op < 28:
+                self.dual.lstat(task, path)
+            elif op < 36:
+                fd = self.dual.open(task, path, O_CREAT | O_RDWR)
+                if self.rng.random() < 0.8:
+                    self.dual.close(task, fd)
+                else:
+                    self.open_fds.append((task, fd))
+            elif op < 44:
+                self.dual.mkdir(task, path)
+            elif op < 50:
+                self.dual.unlink(task, path)
+            elif op < 54:
+                self.dual.rmdir(task, path)
+            elif op < 62:
+                self.dual.rename(task, path, self.random_path())
+            elif op < 68:
+                self.dual.symlink(task, self.random_path(), path)
+            elif op < 72:
+                self.dual.link(task, path, self.random_path())
+            elif op < 78:
+                self.dual.chmod(self.root, path,
+                                self.rng.choice(MODES))
+            elif op < 82:
+                self.dual.listdir(task, path)
+            elif op < 86:
+                self.dual.chdir(task, path)
+            elif op < 88:
+                self.dual.stat(task, self.random_path(depth=2) + "/..")
+            elif op < 92:
+                rel = self.rng.choice(NAMES)
+                self.dual.stat(task, rel)
+            elif op < 93:
+                # occasionally drop a held fd
+                if self.open_fds:
+                    held_task, fd = self.open_fds.pop()
+                    self.dual.close(held_task, fd)
+                else:
+                    self.dual.stat(task, "/")
+            elif op < 95:
+                if self.rng.random() < 0.5:
+                    self.dual.setxattr(self.root, path, "user.tag",
+                                       b"fuzz")
+                else:
+                    self.dual.getxattr(task, path, "user.tag")
+            elif op < 96:
+                self.dual.utimes(self.root, path,
+                                 mtime_ns=self.rng.randrange(10**9))
+            elif op < 97:
+                for kernel in self.dual.kernels:
+                    kernel.drop_caches()
+            else:
+                uid = 1000 + self.rng.randrange(3)
+                self.dual.change_identity(self.users[0], uid=uid)
+        except errors.FsError:
+            pass  # the oracle already verified both kernels agreed
+
+    def run(self, steps: int, check_every: int = 200) -> None:
+        for i in range(steps):
+            self.step()
+            if i % check_every == check_every - 1:
+                self.dual.check_invariants()
+        self.dual.check_invariants()
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 1337])
+def test_long_fuzz(seed):
+    Fuzzer(seed).run(1200)
+
+
+@pytest.mark.parametrize("seed", [3, 99])
+def test_long_fuzz_under_cache_pressure(seed):
+    configs = (BASELINE.variant(dcache_capacity=30),
+               OPTIMIZED.variant(dcache_capacity=30))
+    Fuzzer(seed, configs).run(900)
+
+
+@pytest.mark.parametrize("seed", [11])
+def test_long_fuzz_all_features_config_matrix(seed):
+    """Every partial feature combination agrees with the baseline."""
+    configs = (
+        BASELINE,
+        OPTIMIZED.variant(dir_complete=False),
+        OPTIMIZED.variant(deep_negative=False),
+        OPTIMIZED.variant(aggressive_negative=False),
+        OPTIMIZED.variant(fastpath=False),
+        OPTIMIZED,
+    )
+    Fuzzer(seed, configs).run(600)

@@ -1,0 +1,228 @@
+"""Aggressive and deep negative dentry behaviours (§5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import O_CREAT, O_RDONLY, O_RDWR, errors, make_kernel
+from repro.vfs.dentry import NEG_ENOTDIR
+
+
+def _mkfile(kernel, task, path, content=b""):
+    fd = kernel.sys.open(task, path, O_CREAT | O_RDWR)
+    if content:
+        kernel.sys.write(task, fd, content)
+    kernel.sys.close(task, fd)
+
+
+def _root_children(kernel):
+    return kernel.dcache.root_dentry(kernel.root_fs).children
+
+
+class TestNegativeOnRemoval:
+    def test_unlink_leaves_negative(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        _mkfile(kernel, task, "/f")
+        kernel.sys.unlink(task, "/f")
+        dentry = _root_children(kernel).get("f")
+        assert dentry is not None and dentry.is_negative
+        kernel.stats.reset()
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/f")
+        assert kernel.stats.get("fs_lookup") == 0
+
+    def test_unlink_of_open_file_keeps_handle_working(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        _mkfile(kernel, task, "/f", b"still here")
+        fd = kernel.sys.open(task, "/f", O_RDONLY)
+        kernel.sys.unlink(task, "/f")
+        # The path is negative...
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/f")
+        # ...but the open handle still reads the data (Unix semantics).
+        assert kernel.sys.read(task, fd, 100) == b"still here"
+        kernel.sys.close(task, fd)
+
+    def test_rename_leaves_negative_at_old_path(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        _mkfile(kernel, task, "/old")
+        kernel.sys.rename(task, "/old", "/new")
+        dentry = _root_children(kernel).get("old")
+        assert dentry is not None and dentry.is_negative
+
+    def test_reuse_after_unlink_lock_file_pattern(self):
+        """The paper's motivating case: lock files recreated at the
+        same path hit the cached negative and flip it positive."""
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        _mkfile(kernel, task, "/app.lock")
+        for _ in range(3):
+            kernel.sys.unlink(task, "/app.lock")
+            dentry = _root_children(kernel)["app.lock"]
+            assert dentry.is_negative
+            _mkfile(kernel, task, "/app.lock")
+            assert _root_children(kernel)["app.lock"] is dentry
+            assert not dentry.is_negative
+
+    def test_baseline_unlink_also_negative_when_unused(self):
+        kernel = make_kernel("baseline")
+        task = kernel.spawn_task(uid=0, gid=0)
+        _mkfile(kernel, task, "/f")
+        kernel.sys.unlink(task, "/f")
+        dentry = _root_children(kernel).get("f")
+        assert dentry is not None and dentry.is_negative
+
+    def test_baseline_unlink_in_use_drops_dentry(self):
+        kernel = make_kernel("baseline")
+        task = kernel.spawn_task(uid=0, gid=0)
+        _mkfile(kernel, task, "/f")
+        fd = kernel.sys.open(task, "/f", O_RDONLY)
+        kernel.sys.unlink(task, "/f")
+        assert "f" not in _root_children(kernel)
+        kernel.sys.close(task, fd)
+
+
+class TestDeepNegatives:
+    def test_chain_created_on_deep_miss(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/x/y/z")
+        children = _root_children(kernel)
+        x = children["x"]
+        assert x.is_negative
+        y = x.children["y"]
+        z = y.children["z"]
+        assert y.is_negative and z.is_negative
+
+    def test_creation_over_negative_evicts_chain(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/x/y/z")
+        _mkfile(kernel, task, "/x")  # x now a *file*
+        x = _root_children(kernel)["x"]
+        assert not x.is_negative
+        assert not x.children  # deep chain evicted
+        with pytest.raises(errors.ENOTDIR):
+            kernel.sys.stat(task, "/x/y/z")
+
+    def test_mkdir_over_negative_then_populate(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/x/y")
+        kernel.sys.mkdir(task, "/x")
+        _mkfile(kernel, task, "/x/y")
+        assert kernel.sys.stat(task, "/x/y").filetype == "reg"
+
+    def test_enotdir_chain_under_file(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        _mkfile(kernel, task, "/file")
+        with pytest.raises(errors.ENOTDIR):
+            kernel.sys.stat(task, "/file/a/b")
+        file_dentry = _root_children(kernel)["file"]
+        a = file_dentry.children["a"]
+        assert a.neg_kind == NEG_ENOTDIR
+        assert a.children["b"].neg_kind == NEG_ENOTDIR
+
+    def test_unlink_file_drops_enotdir_children(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        _mkfile(kernel, task, "/file")
+        with pytest.raises(errors.ENOTDIR):
+            kernel.sys.stat(task, "/file/a")
+        kernel.sys.unlink(task, "/file")
+        file_dentry = _root_children(kernel)["file"]
+        assert file_dentry.is_negative
+        assert not file_dentry.children
+        # The error for the deep path is now ENOENT, not ENOTDIR.
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/file/a")
+
+    def test_config_off_creates_no_chain(self):
+        kernel = make_kernel("optimized", deep_negative=False)
+        task = kernel.spawn_task(uid=0, gid=0)
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/x/y/z")
+        x = _root_children(kernel)["x"]
+        assert x.is_negative
+        assert not x.children
+
+
+class TestNegativeCorrectness:
+    def test_negative_invalidated_by_external_creation(self):
+        """A file created later must be found despite the negative."""
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/d")
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/d/f")
+        _mkfile(kernel, task, "/d/f", b"hi")
+        assert kernel.sys.stat(task, "/d/f").size == 2
+        # And the fastpath serves it now.
+        kernel.stats.reset()
+        kernel.sys.stat(task, "/d/f")
+        assert kernel.stats.get("fastpath_hit") == 1
+
+    def test_negative_under_renamed_dir_invalidated(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/a")
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/a/ghost")
+        kernel.sys.rename(task, "/a", "/b")
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.stat(task, "/b/ghost")
+        _mkfile(kernel, task, "/b/ghost")
+        assert kernel.sys.stat(task, "/b/ghost").filetype == "reg"
+
+    def test_library_search_path_pattern(self):
+        """The paper's §2.2 motivating case for negative dentries: a
+        loader probing LD_LIBRARY_PATH directories caches each miss, so
+        every later exec skips the low-level FS entirely."""
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        sys = kernel.sys
+        search_path = ["/opt/app/lib", "/usr/local/lib", "/usr/lib"]
+        for directory in search_path:
+            prefix = ""
+            for part in directory.strip("/").split("/"):
+                prefix = f"{prefix}/{part}"
+                if not sys.exists(task, prefix):
+                    sys.mkdir(task, prefix)
+        _mkfile(kernel, task, "/usr/lib/libc.so")  # only the last hits
+
+        def load(lib):
+            for directory in search_path:
+                try:
+                    return sys.stat(task, f"{directory}/{lib}")
+                except errors.ENOENT:
+                    continue
+            raise FileNotFoundError(lib)
+
+        assert load("libc.so").filetype == "reg"
+        kernel.stats.reset()
+        for _ in range(5):
+            assert load("libc.so").filetype == "reg"
+        # 5 loads x 3 probes: all served from the cache, two of the
+        # three from negative dentries, none from the FS.
+        assert kernel.stats.get("fs_lookup") == 0
+        assert kernel.stats.get("negative_hit") == 10
+        assert kernel.stats.get("fastpath_hit") == 15
+
+    def test_negative_rates_reported(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/d")
+        kernel.stats.reset()
+        for _ in range(4):
+            try:
+                kernel.sys.stat(task, "/d/nothing")
+            except errors.ENOENT:
+                pass
+        assert kernel.stats.negative_rate() > 0.5

@@ -1,0 +1,102 @@
+"""Unit tests for path parsing and lexical normalization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.vfs import path as vfspath
+
+
+class TestSplit:
+    def test_absolute(self):
+        absolute, comps, must_dir = vfspath.split("/a/b/c")
+        assert absolute and comps == ["a", "b", "c"] and not must_dir
+
+    def test_relative(self):
+        absolute, comps, _ = vfspath.split("a/b")
+        assert not absolute and comps == ["a", "b"]
+
+    def test_collapses_slashes(self):
+        assert vfspath.split("//a///b")[1] == ["a", "b"]
+
+    def test_drops_single_dots(self):
+        assert vfspath.split("/a/./b/.")[1] == ["a", "b"]
+
+    def test_keeps_dotdot(self):
+        assert vfspath.split("/a/../b")[1] == ["a", "..", "b"]
+
+    def test_trailing_slash_requires_dir(self):
+        assert vfspath.split("/a/b/")[2] is True
+
+    def test_trailing_dot_requires_dir(self):
+        assert vfspath.split("/a/b/.")[2] is True
+
+    def test_trailing_dotdot_requires_dir(self):
+        assert vfspath.split("/a/b/..")[2] is True
+
+    def test_root(self):
+        absolute, comps, _ = vfspath.split("/")
+        assert absolute and comps == []
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(errors.EINVAL):
+            vfspath.split("")
+
+    def test_component_too_long(self):
+        with pytest.raises(errors.ENAMETOOLONG):
+            vfspath.split("/" + "x" * (vfspath.NAME_MAX + 1))
+
+    def test_path_too_long(self):
+        long_path = "/a" * (vfspath.PATH_MAX // 2 + 1)
+        with pytest.raises(errors.ENAMETOOLONG):
+            vfspath.split(long_path)
+
+    def test_exact_name_max_ok(self):
+        comps = vfspath.split("/" + "x" * vfspath.NAME_MAX)[1]
+        assert len(comps[0]) == vfspath.NAME_MAX
+
+
+class TestLexicalNormalize:
+    def test_folds_dotdot(self):
+        assert vfspath.lexical_normalize(["a", "b", "..", "c"]) == \
+            ["a", "c"]
+
+    def test_multiple_dotdots(self):
+        comps = ["a", "b", "..", "..", "c"]
+        assert vfspath.lexical_normalize(comps) == ["c"]
+
+    def test_leading_dotdots_preserved(self):
+        assert vfspath.lexical_normalize(["..", "a"]) == ["..", "a"]
+
+    def test_excess_dotdots_preserved(self):
+        assert vfspath.lexical_normalize(["a", "..", ".."]) == [".."]
+
+    def test_no_dotdots_identity(self):
+        assert vfspath.lexical_normalize(["x", "y"]) == ["x", "y"]
+
+    @given(st.lists(st.sampled_from(["a", "b", ".."]), max_size=12))
+    def test_result_never_has_interior_dotdot(self, comps):
+        result = vfspath.lexical_normalize(comps)
+        seen_normal = False
+        for comp in result:
+            if comp != "..":
+                seen_normal = True
+            else:
+                assert not seen_normal, result
+
+
+class TestJoin:
+    def test_simple(self):
+        assert vfspath.join("/a", "b") == "/a/b"
+
+    def test_strips_extra_slashes(self):
+        assert vfspath.join("/a/", "/b/") == "/a/b"
+
+    def test_root_base(self):
+        assert vfspath.join("/", "x") == "/x"
+
+    def test_multiple_parts(self):
+        assert vfspath.join("/a", "b", "c") == "/a/b/c"

@@ -1,0 +1,173 @@
+"""Property-based tests of core data structures against simple models."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pcc import PrefixCheckCache
+from repro.core.signatures import PathHasher
+from repro.fs.disk import BlockDevice
+from repro.fs.pagecache import PageCache
+from repro.sim.costs import CostModel, UNIT
+from repro.sim.stats import Stats
+from repro.vfs.dcache import Dcache
+from repro.vfs.dentry import Dentry
+from repro.fs.tmpfs import TmpFs
+
+
+class TestPageCacheModel:
+    """The page cache must behave as a capacity-bounded LRU."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), min_size=1,
+                    max_size=120))
+    def test_matches_reference_lru(self, accesses):
+        costs = CostModel(dict(UNIT))
+        capacity = 8
+        cache = PageCache(costs, BlockDevice(costs),
+                          capacity_blocks=capacity, readahead=1)
+        model: "OrderedDict[int, None]" = OrderedDict()
+        for block in accesses:
+            expected_hit = block in model
+            actual_hit = cache.access(block)
+            assert actual_hit == expected_hit
+            model[block] = None
+            model.move_to_end(block)
+            while len(model) > capacity:
+                model.popitem(last=False)
+        assert set(model) == {b for b in model if cache.contains(b)}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=60),
+           st.integers(min_value=2, max_value=16))
+    def test_readahead_never_overflows_capacity(self, accesses, readahead):
+        costs = CostModel(dict(UNIT))
+        cache = PageCache(costs, BlockDevice(costs), capacity_blocks=10,
+                          readahead=readahead)
+        for block in accesses:
+            cache.access(block)
+            assert len(cache) <= 10
+
+
+class TestPccModel:
+    """The PCC must behave as a bounded LRU keyed by dentry identity."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "probe", "bump"]),
+                              st.integers(min_value=0, max_value=9)),
+                    min_size=1, max_size=80))
+    def test_matches_reference(self, ops):
+        costs = CostModel(dict(UNIT))
+        pcc = PrefixCheckCache(costs, Stats(), capacity=4)
+        dentries = [Dentry(f"d{i}", None, None) for i in range(10)]
+        model: "OrderedDict[int, int]" = OrderedDict()
+        for op, idx in ops:
+            dentry = dentries[idx]
+            if op == "insert":
+                pcc.insert(dentry)
+                model[idx] = dentry.seq
+                model.move_to_end(idx)
+                while len(model) > 4:
+                    model.popitem(last=False)
+            elif op == "bump":
+                dentry.seq += 1
+            else:
+                expected = model.get(idx) == dentry.seq
+                assert pcc.probe(dentry) == expected
+                if expected:
+                    model.move_to_end(idx)
+                else:
+                    model.pop(idx, None)
+
+
+class TestDcacheInvariants:
+    """Random alloc/evict/move sequences keep the tree well-formed."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(
+        st.sampled_from(["alloc", "evict", "move", "negative"]),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5)), min_size=1, max_size=60))
+    def test_structure_stays_consistent(self, ops):
+        costs = CostModel(dict(UNIT))
+        fs = TmpFs(costs)
+        dcache = Dcache(costs, Stats(), capacity=1000)
+        root = dcache.root_dentry(fs)
+        # A pool of directory dentries to parent things under.
+        pool = [root]
+        for i in range(3):
+            info = fs.mkdir(fs.root_ino, f"dir{i}", 0o755, 0, 0)
+            pool.append(dcache.d_alloc(
+                root, f"dir{i}", dcache.inode_table(fs).obtain(info)))
+        serial = 0
+        for op, a, b in ops:
+            parent = pool[a % len(pool)]
+            if parent.dead or not parent.is_dir:
+                continue
+            if op == "alloc":
+                name = f"n{serial}"
+                serial += 1
+                if name not in parent.children:
+                    dcache.d_alloc(parent, name, None)
+            elif op == "evict":
+                leaves = [c for c in parent.children.values()
+                          if not c.children and c.pin_count == 0]
+                if leaves:
+                    dcache.evict(leaves[b % len(leaves)])
+            elif op == "move":
+                movable = [c for c in parent.children.values()
+                           if not c.dead]
+                target = pool[b % len(pool)]
+                if movable and not target.dead and target.is_dir:
+                    victim = movable[0]
+                    if victim is not target and \
+                            not victim.is_ancestor_of(target):
+                        dcache.d_move(victim, target, f"m{serial}")
+                        serial += 1
+            elif op == "negative":
+                candidates = [c for c in parent.children.values()
+                              if c.inode is not None and not c.children]
+                if candidates:
+                    dcache.make_negative(candidates[b % len(candidates)])
+            self._check(dcache, root)
+
+    @staticmethod
+    def _check(dcache, root):
+        stack = [root]
+        seen = 0
+        while stack:
+            dentry = stack.pop()
+            seen += 1
+            for name, child in dentry.children.items():
+                assert child.parent is dentry
+                assert child.name == name
+                assert not child.dead
+                assert dcache.d_lookup(dentry, name) is child
+                stack.append(child)
+        assert seen <= len(dcache) + 1
+
+
+class TestSignatureProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=8),
+                    min_size=1, max_size=6),
+           st.integers(min_value=0, max_value=2 ** 30))
+    def test_deterministic_per_seed(self, comps, seed):
+        a = PathHasher(seed).sign_components(comps)
+        b = PathHasher(seed).sign_components(comps)
+        assert a == b
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=4),
+                    min_size=2, max_size=6))
+    def test_any_split_point_resumes(self, comps):
+        hasher = PathHasher(17)
+        whole = hasher.sign_components(comps)
+        for cut in range(1, len(comps)):
+            state = hasher.extend_components(hasher.EMPTY, comps[:cut])
+            state = hasher.extend_components(state, comps[cut:])
+            assert hasher.finish(state) == whole

@@ -1,0 +1,127 @@
+"""Unit and property tests for path signatures (§3.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.signatures import (INDEX_BITS, PathHasher, SigState,
+                                   collision_probability, queries_for_risk)
+
+NAMES = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_characters="/\x00"),
+    min_size=1, max_size=24)
+
+
+@pytest.fixture
+def hasher():
+    return PathHasher(boot_seed=42)
+
+
+class TestResumability:
+    def test_extend_matches_full_hash(self, hasher):
+        full = hasher.sign_components(["a", "b", "c"])
+        state = hasher.extend(hasher.EMPTY, "a")
+        state = hasher.extend(state, "b")
+        state = hasher.extend(state, "c")
+        assert hasher.finish(state) == full
+
+    @given(prefix=st.lists(NAMES, max_size=5),
+           suffix=st.lists(NAMES, max_size=5))
+    def test_resume_from_any_prefix(self, prefix, suffix):
+        hasher = PathHasher(7)
+        whole = hasher.sign_components(prefix + suffix)
+        state = hasher.extend_components(hasher.EMPTY, prefix)
+        state = hasher.extend_components(state, suffix)
+        assert hasher.finish(state) == whole
+
+    def test_empty_path_state(self, hasher):
+        assert hasher.EMPTY == SigState(0, 0, 0)
+
+    def test_length_tracks_separators(self, hasher):
+        state = hasher.extend(hasher.EMPTY, "ab")
+        assert state.length == 2
+        state = hasher.extend(state, "cd")
+        assert state.length == 5  # "ab/cd"
+
+
+class TestDiscrimination:
+    def test_different_paths_differ(self, hasher):
+        a = hasher.sign_components(["x", "y"])
+        b = hasher.sign_components(["x", "z"])
+        assert a != b
+
+    def test_separator_ambiguity_resolved(self, hasher):
+        # "ab"+"c" must not collide with "a"+"bc": the separator is hashed.
+        a = hasher.sign_components(["ab", "c"])
+        b = hasher.sign_components(["a", "bc"])
+        assert a != b
+
+    def test_nesting_differs_from_flat(self, hasher):
+        a = hasher.sign_components(["abc"])
+        b = hasher.sign_components(["a", "b", "c"])
+        assert a != b
+
+    @given(st.lists(NAMES, min_size=1, max_size=4),
+           st.lists(NAMES, min_size=1, max_size=4))
+    def test_no_easy_collisions(self, one, two):
+        hasher = PathHasher(99)
+        if one != two:
+            assert hasher.sign_components(one) != \
+                hasher.sign_components(two)
+
+    def test_key_changes_across_boots(self):
+        a = PathHasher(1).sign_components(["etc", "passwd"])
+        b = PathHasher(2).sign_components(["etc", "passwd"])
+        assert a != b
+
+    def test_same_boot_deterministic(self):
+        a = PathHasher(5).sign_components(["a", "b"])
+        b = PathHasher(5).sign_components(["a", "b"])
+        assert a == b
+
+
+class TestWidths:
+    def test_index_width(self, hasher):
+        sig = hasher.sign_components(["whatever"])
+        assert 0 <= sig.index < (1 << INDEX_BITS)
+
+    def test_signature_width_default(self, hasher):
+        sig = hasher.sign_components(["whatever"])
+        assert 0 <= sig.bits < (1 << 240)
+
+    def test_truncated_signatures_collide(self):
+        hasher = PathHasher(3, signature_bits=2, index_bits=4)
+        seen = set()
+        collided = False
+        for i in range(512):
+            sig = hasher.sign_components([f"f{i}"])
+            key = (sig.index, sig.bits)
+            if key in seen:
+                collided = True
+            seen.add(key)
+        assert collided, "2-bit signatures over 512 paths must collide"
+
+    def test_unicode_paths(self, hasher):
+        sig = hasher.sign_components(["caché", "файл", "ファイル"])
+        assert sig.bits >= 0
+
+
+class TestRiskModel:
+    def test_paper_headline_number(self):
+        queries = queries_for_risk(2.0 ** -128, 2.0 ** 35, 240)
+        assert abs(math.log2(queries) - 77) < 1.5
+
+    def test_probability_monotone_in_queries(self):
+        p1 = collision_probability(1e6, 1e6, 64)
+        p2 = collision_probability(1e9, 1e6, 64)
+        assert p2 > p1
+
+    def test_probability_bounds(self):
+        assert 0.0 <= collision_probability(1e9, 1e9, 64) <= 1.0
+
+    def test_small_space_saturates(self):
+        assert collision_probability(1e6, 1e6, 16) == pytest.approx(1.0)

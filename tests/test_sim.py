@@ -1,0 +1,152 @@
+"""Unit tests for the simulation substrate: clock, costs, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import Clock, Stopwatch
+from repro.sim.concurrency import (ScalingParams, read_latency_curve,
+                                   writer_latency_curve)
+from repro.sim.costs import CALIBRATED, UNIT, CostModel
+from repro.sim.stats import Stats
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now_ns == 0
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(10)
+        clock.advance(2.5)
+        assert clock.now_ns == 12.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1)
+
+    def test_elapsed_since(self):
+        clock = Clock()
+        clock.advance(5)
+        mark = clock.now_ns
+        clock.advance(7)
+        assert clock.elapsed_since(mark) == 7
+
+    def test_stopwatch(self):
+        clock = Clock()
+        with Stopwatch(clock) as watch:
+            clock.advance(42)
+        assert watch.elapsed_ns == 42
+
+
+class TestCostModel:
+    def test_charge_advances_clock(self):
+        costs = CostModel(dict(UNIT))
+        costs.charge("ht_probe")
+        assert costs.now_ns == 1
+
+    def test_charge_times(self):
+        costs = CostModel(dict(UNIT))
+        costs.charge("ht_probe", times=5)
+        assert costs.now_ns == 5
+        assert costs.count("ht_probe") == 5
+
+    def test_per_byte_component(self):
+        costs = CostModel({"sig_hash": 10.0, "sig_hash_per_byte": 2.0})
+        charged = costs.charge("sig_hash", nbytes=4)
+        assert charged == 18.0
+
+    def test_unknown_primitive_is_error(self):
+        costs = CostModel(dict(UNIT))
+        with pytest.raises(KeyError):
+            costs.charge("not_a_primitive")
+
+    def test_scopes_attribute_innermost(self):
+        costs = CostModel(dict(UNIT))
+        with costs.scope("outer"):
+            costs.charge("ht_probe")
+            with costs.scope("inner"):
+                costs.charge("ht_probe")
+        assert costs.scope_ns("outer") == 1
+        assert costs.scope_ns("inner") == 1
+
+    def test_reset_attribution_keeps_clock(self):
+        costs = CostModel(dict(UNIT))
+        costs.charge("ht_probe")
+        costs.reset_attribution()
+        assert costs.now_ns == 1
+        assert costs.by_primitive == {}
+
+    def test_charge_ns_raw(self):
+        costs = CostModel(dict(UNIT))
+        costs.charge_ns("compute", 123.0)
+        assert costs.now_ns == 123.0
+
+    def test_calibrated_covers_unit(self):
+        assert set(UNIT) == set(CALIBRATED)
+
+    def test_every_per_byte_has_base(self):
+        for name in CALIBRATED:
+            if name.endswith("_per_byte"):
+                assert name[:-len("_per_byte")] in CALIBRATED
+
+
+class TestStats:
+    def test_bump_and_get(self):
+        stats = Stats()
+        stats.bump("lookup")
+        stats.bump("lookup", 2)
+        assert stats.get("lookup") == 3
+
+    def test_missing_counter_is_zero(self):
+        assert Stats().get("nothing") == 0
+
+    def test_hit_rate_no_lookups(self):
+        assert Stats().hit_rate() == 1.0
+
+    def test_hit_rate(self):
+        stats = Stats()
+        stats.bump("lookup", 10)
+        stats.bump("fs_lookup", 3)
+        assert stats.hit_rate() == pytest.approx(0.7)
+
+    def test_negative_rate(self):
+        stats = Stats()
+        stats.bump("lookup", 4)
+        stats.bump("negative_hit", 1)
+        assert stats.negative_rate() == 0.25
+
+    def test_reset(self):
+        stats = Stats()
+        stats.bump("x")
+        stats.reset()
+        assert stats.get("x") == 0
+
+    def test_snapshot_is_copy(self):
+        stats = Stats()
+        stats.bump("x")
+        snap = stats.snapshot()
+        stats.bump("x")
+        assert snap["x"] == 1
+
+
+class TestConcurrencyModel:
+    def test_read_curve_flat(self):
+        curve = read_latency_curve(1000.0, 12)
+        assert len(curve) == 12
+        assert curve[0] == 1000.0
+        assert curve[-1] <= 1100.0  # ≤10% growth at 12 threads
+
+    def test_read_curve_monotonic(self):
+        curve = read_latency_curve(500.0, 8)
+        assert all(a <= b for a, b in zip(curve, curve[1:]))
+
+    def test_writer_curve_contends(self):
+        curve = writer_latency_curve(10_000.0, 12)
+        assert curve[0] == 10_000.0
+        assert curve[-1] > 5 * curve[0]
+
+    def test_custom_params(self):
+        params = ScalingParams(read_coherence_factor=0.0)
+        curve = read_latency_curve(100.0, 4, params)
+        assert curve == [100.0] * 4

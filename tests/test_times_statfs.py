@@ -1,0 +1,140 @@
+"""Timestamp (mtime) and statfs tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import O_APPEND, O_CREAT, O_RDWR, O_WRONLY, errors
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task(uid=0, gid=0)
+
+
+def _mkfile(kernel, task, path, content=b""):
+    fd = kernel.sys.open(task, path, O_CREAT | O_RDWR)
+    if content:
+        kernel.sys.write(task, fd, content)
+    kernel.sys.close(task, fd)
+
+
+class TestMtime:
+    def test_creation_stamps_mtime(self, kernel, task):
+        _mkfile(kernel, task, "/f")
+        assert kernel.sys.stat(task, "/f").mtime_ns > 0
+
+    def test_write_advances_mtime(self, kernel, task):
+        _mkfile(kernel, task, "/f")
+        before = kernel.sys.stat(task, "/f").mtime_ns
+        fd = kernel.sys.open(task, "/f", O_WRONLY | O_APPEND)
+        kernel.sys.write(task, fd, b"more")
+        kernel.sys.close(task, fd)
+        assert kernel.sys.stat(task, "/f").mtime_ns > before
+
+    def test_read_does_not_advance_mtime(self, kernel, task):
+        _mkfile(kernel, task, "/f", b"data")
+        before = kernel.sys.stat(task, "/f").mtime_ns
+        fd = kernel.sys.open(task, "/f")
+        kernel.sys.read(task, fd, 4)
+        kernel.sys.close(task, fd)
+        assert kernel.sys.stat(task, "/f").mtime_ns == before
+
+    def test_dir_mtime_on_entry_changes(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        t0 = kernel.sys.stat(task, "/d").mtime_ns
+        _mkfile(kernel, task, "/d/a")
+        t1 = kernel.sys.stat(task, "/d").mtime_ns
+        assert t1 > t0
+        kernel.sys.unlink(task, "/d/a")
+        t2 = kernel.sys.stat(task, "/d").mtime_ns
+        assert t2 > t1
+
+    def test_dir_mtime_on_rename(self, kernel, task):
+        kernel.sys.mkdir(task, "/src")
+        kernel.sys.mkdir(task, "/dst")
+        _mkfile(kernel, task, "/src/f")
+        src_t = kernel.sys.stat(task, "/src").mtime_ns
+        dst_t = kernel.sys.stat(task, "/dst").mtime_ns
+        kernel.sys.rename(task, "/src/f", "/dst/f")
+        assert kernel.sys.stat(task, "/src").mtime_ns > src_t
+        assert kernel.sys.stat(task, "/dst").mtime_ns > dst_t
+
+    def test_truncate_advances_mtime(self, kernel, task):
+        _mkfile(kernel, task, "/f", b"0123456789")
+        before = kernel.sys.stat(task, "/f").mtime_ns
+        kernel.sys.truncate(task, "/f", 2)
+        assert kernel.sys.stat(task, "/f").mtime_ns > before
+
+    def test_chmod_preserves_mtime(self, kernel, task):
+        _mkfile(kernel, task, "/f")
+        before = kernel.sys.stat(task, "/f").mtime_ns
+        kernel.sys.chmod(task, "/f", 0o600)
+        assert kernel.sys.stat(task, "/f").mtime_ns == before
+
+    def test_mtime_visible_through_warm_cache(self, optimized):
+        """A fastpath-served stat must report the current mtime."""
+        task = optimized.spawn_task(uid=0, gid=0)
+        _mkfile(optimized, task, "/f", b"v1")
+        optimized.sys.stat(task, "/f")
+        fd = optimized.sys.open(task, "/f", O_WRONLY | O_APPEND)
+        optimized.sys.write(task, fd, b"v2")
+        optimized.sys.close(task, fd)
+        optimized.stats.reset()
+        st = optimized.sys.stat(task, "/f")
+        assert optimized.stats.get("fastpath_hit") == 1
+        assert st.size == 4
+
+
+class TestUtimes:
+    def test_set_explicit_mtime(self, kernel, task):
+        _mkfile(kernel, task, "/f")
+        kernel.sys.utimes(task, "/f", mtime_ns=123_456)
+        assert kernel.sys.stat(task, "/f").mtime_ns == 123_456
+
+    def test_requires_owner(self, kernel, task):
+        _mkfile(kernel, task, "/f")
+        user = kernel.spawn_task(uid=1000, gid=1000)
+        with pytest.raises(errors.EPERM):
+            kernel.sys.utimes(user, "/f", mtime_ns=1)
+
+    def test_maildir_style_newer_check(self, kernel, task):
+        """The rsync/make pattern: compare mtimes to decide staleness."""
+        _mkfile(kernel, task, "/src.c", b"code")
+        _mkfile(kernel, task, "/src.o", b"obj")
+        src = kernel.sys.stat(task, "/src.c").mtime_ns
+        obj = kernel.sys.stat(task, "/src.o").mtime_ns
+        assert obj > src  # built after the source: up to date
+        fd = kernel.sys.open(task, "/src.c", O_WRONLY | O_APPEND)
+        kernel.sys.write(task, fd, b"edit")
+        kernel.sys.close(task, fd)
+        assert kernel.sys.stat(task, "/src.c").mtime_ns > obj  # rebuild
+
+
+class TestStatfs:
+    def test_simext_usage(self, kernel, task):
+        usage = kernel.sys.statfs(task, "/")
+        assert usage.fstype == "simext"
+        used_before = usage.used_blocks
+        _mkfile(kernel, task, "/big")
+        fd = kernel.sys.open(task, "/big", O_WRONLY)
+        kernel.sys.write(task, fd, b"x" * 20_000)  # 5 data blocks
+        kernel.sys.close(task, fd)
+        after = kernel.sys.statfs(task, "/")
+        assert after.used_blocks > used_before
+        assert after.inode_count >= 2
+
+    def test_statfs_follows_mounts(self, kernel, task):
+        from repro.fs.tmpfs import TmpFs
+        kernel.sys.mkdir(task, "/mnt")
+        kernel.sys.mount_fs(task, TmpFs(kernel.costs), "/mnt")
+        assert kernel.sys.statfs(task, "/mnt").fstype == "tmpfs"
+        assert kernel.sys.statfs(task, "/").fstype == "simext"
+
+    def test_dual_equivalence(self, dual):
+        root = dual.spawn_task(uid=0, gid=0)
+        fd = dual.open(root, "/f", O_CREAT | O_RDWR)
+        dual.write(root, fd, b"y" * 9000)
+        dual.close(root, fd)
+        usage = dual.statfs(root, "/")
+        assert usage.used_blocks > 0

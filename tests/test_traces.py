@@ -1,0 +1,133 @@
+"""Trace record/replay tests (the §1 methodology)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import O_CREAT, O_DIRECTORY, O_RDONLY, O_RDWR, errors, make_kernel
+from repro.workloads.traces import (PATH_LOOKUP_OPS, ReplayMismatch, Trace,
+                                    TraceEvent, TraceRecorder, replay)
+
+
+def _record_sample(kernel):
+    task = kernel.spawn_task(uid=0, gid=0)
+    rec = TraceRecorder(kernel, task)
+    rec.mkdir("/proj")
+    fd = rec.open("/proj/main.c", O_CREAT | O_RDWR)
+    rec.write(fd, b"int main(){}")
+    rec.compute(5_000)
+    rec.close(fd)
+    rec.stat("/proj/main.c")
+    with pytest.raises(errors.ENOENT):
+        rec.stat("/proj/missing.h")
+    fd = rec.open("/proj", O_RDONLY | O_DIRECTORY)
+    rec.getdents(fd, 100)
+    rec.close(fd)
+    rec.rename("/proj/main.c", "/proj/prog.c")
+    return rec.trace
+
+
+class TestRecording:
+    def test_events_recorded_in_order(self):
+        trace = _record_sample(make_kernel("baseline"))
+        ops = [event.op for event in trace.events]
+        assert ops == ["mkdir", "open", "write", "close", "stat", "stat",
+                       "open", "getdents", "close", "rename"]
+
+    def test_failed_call_records_errno(self):
+        trace = _record_sample(make_kernel("baseline"))
+        failed = [e for e in trace.events if e.errno is not None]
+        assert len(failed) == 1
+        import errno as std_errno
+        assert failed[0].errno == std_errno.ENOENT
+
+    def test_fd_slots_assigned(self):
+        trace = _record_sample(make_kernel("baseline"))
+        opens = [e for e in trace.events if e.op == "open"]
+        assert [e.returns_fd_slot for e in opens] == [0, 1]
+        close_events = [e for e in trace.events if e.op == "close"]
+        assert close_events[0].args[0] == ["fd", 0] or \
+            close_events[0].args[0] == ("fd", 0)
+
+    def test_compute_attached_to_next_event(self):
+        trace = _record_sample(make_kernel("baseline"))
+        close_event = [e for e in trace.events if e.op == "close"][0]
+        assert close_event.compute_ns == 5_000
+
+    def test_stats(self):
+        trace = _record_sample(make_kernel("baseline"))
+        stats = trace.stats()
+        assert stats.total_syscalls == 10
+        assert stats.path_lookup_syscalls == 6  # mkdir,2xopen,2xstat,rename
+        assert 0.5 < stats.path_lookup_fraction < 0.7
+        assert stats.by_op["stat"] == 2
+        assert stats.total_compute_ns == 5_000
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        trace = _record_sample(make_kernel("baseline"))
+        text = trace.dumps()
+        restored = Trace.loads(text)
+        assert len(restored) == len(trace)
+        assert [e.op for e in restored.events] == \
+            [e.op for e in trace.events]
+        assert restored.events[1].returns_fd_slot == 0
+
+    def test_event_json_roundtrip(self):
+        event = TraceEvent(op="stat", args=("/x",), errno=2,
+                           compute_ns=12.5)
+        restored = TraceEvent.from_json(event.to_json())
+        assert restored.op == "stat" and restored.args == ("/x",)
+        assert restored.errno == 2 and restored.compute_ns == 12.5
+
+
+class TestReplay:
+    def test_replay_on_fresh_kernel(self):
+        trace = _record_sample(make_kernel("baseline"))
+        for profile in ("baseline", "optimized"):
+            kernel = make_kernel(profile)
+            task = kernel.spawn_task(uid=0, gid=0)
+            replay(kernel, task, trace)
+            assert kernel.sys.stat(task, "/proj/prog.c").size == 12
+
+    def test_replay_after_serialization(self):
+        trace = Trace.loads(_record_sample(make_kernel("baseline")).dumps())
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        replay(kernel, task, trace)
+        assert kernel.sys.exists(task, "/proj/prog.c")
+
+    def test_replay_detects_divergence(self):
+        trace = _record_sample(make_kernel("baseline"))
+        kernel = make_kernel("baseline")
+        task = kernel.spawn_task(uid=0, gid=0)
+        # Pre-create the file the trace expects to be missing.
+        kernel.sys.mkdir(task, "/proj")
+        fd = kernel.sys.open(task, "/proj/missing.h", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        # mkdir /proj will now fail where the recording succeeded.
+        with pytest.raises(ReplayMismatch):
+            replay(kernel, task, trace)
+
+    def test_replay_gain_matches_direct_run(self):
+        """A recorded workload replayed on both kernels shows the same
+        winner as running it directly."""
+        trace = _record_sample(make_kernel("baseline"))
+        # Extend with a warm lookup storm so the fastpath matters.
+        storm = Trace(trace.events + [
+            TraceEvent(op="stat", args=("/proj/prog.c",))
+            for _ in range(50)])
+        times = {}
+        for profile in ("baseline", "optimized"):
+            kernel = make_kernel(profile)
+            task = kernel.spawn_task(uid=0, gid=0)
+            start = kernel.now_ns
+            replay(kernel, task, storm)
+            times[profile] = kernel.now_ns - start
+        assert times["optimized"] < times["baseline"]
+
+    def test_path_lookup_ops_subset_sane(self):
+        assert "stat" in PATH_LOOKUP_OPS
+        assert "read" not in PATH_LOOKUP_OPS
+        assert "getdents" not in PATH_LOOKUP_OPS

@@ -1,0 +1,110 @@
+"""Extended attribute tests, including the security-label coherence tie-in."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import O_CREAT, O_RDWR, errors, make_kernel
+from repro.vfs.lsm import PathPrefixLsm
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task(uid=0, gid=0)
+
+
+def _mkfile(kernel, task, path):
+    fd = kernel.sys.open(task, path, O_CREAT | O_RDWR)
+    kernel.sys.close(task, fd)
+
+
+class TestUserXattrs:
+    def test_set_get_roundtrip(self, kernel, task):
+        _mkfile(kernel, task, "/f")
+        kernel.sys.setxattr(task, "/f", "user.origin", b"https://x")
+        assert kernel.sys.getxattr(task, "/f", "user.origin") == \
+            b"https://x"
+
+    def test_list_and_remove(self, kernel, task):
+        _mkfile(kernel, task, "/f")
+        kernel.sys.setxattr(task, "/f", "user.a", b"1")
+        kernel.sys.setxattr(task, "/f", "user.b", b"2")
+        assert kernel.sys.listxattr(task, "/f") == ["user.a", "user.b"]
+        kernel.sys.removexattr(task, "/f", "user.a")
+        assert kernel.sys.listxattr(task, "/f") == ["user.b"]
+
+    def test_missing_xattr_enoent(self, kernel, task):
+        _mkfile(kernel, task, "/f")
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.getxattr(task, "/f", "user.none")
+        with pytest.raises(errors.ENOENT):
+            kernel.sys.removexattr(task, "/f", "user.none")
+
+    def test_user_xattr_needs_write_permission(self, kernel, task):
+        _mkfile(kernel, task, "/f")
+        kernel.sys.chmod(task, "/f", 0o444)
+        user = kernel.spawn_task(uid=1000, gid=1000)
+        with pytest.raises(errors.EACCES):
+            kernel.sys.setxattr(user, "/f", "user.tag", b"x")
+
+    def test_unsupported_namespace(self, kernel, task):
+        _mkfile(kernel, task, "/f")
+        with pytest.raises(errors.ENOTSUP):
+            kernel.sys.setxattr(task, "/f", "trusted.secret", b"x")
+
+    def test_xattrs_on_directories(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        kernel.sys.setxattr(task, "/d", "user.purpose", b"storage")
+        assert kernel.sys.getxattr(task, "/d", "user.purpose") == \
+            b"storage"
+
+    def test_overwrite(self, kernel, task):
+        _mkfile(kernel, task, "/f")
+        kernel.sys.setxattr(task, "/f", "user.v", b"1")
+        kernel.sys.setxattr(task, "/f", "user.v", b"2")
+        assert kernel.sys.getxattr(task, "/f", "user.v") == b"2"
+
+
+class TestSecurityXattrs:
+    def test_security_requires_root(self, kernel, task):
+        _mkfile(kernel, task, "/f")
+        kernel.sys.chmod(task, "/f", 0o777)
+        user = kernel.spawn_task(uid=1000, gid=1000)
+        with pytest.raises(errors.EPERM):
+            kernel.sys.setxattr(user, "/f", "security.label", b"t")
+
+    def test_security_label_sets_lsm_label(self):
+        lsm = PathPrefixLsm()
+        lsm.deny("sandbox", "restricted")
+        kernel = make_kernel("optimized", lsm=lsm)
+        root = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(root, "/zone", 0o755)
+        _mkfile(kernel, root, "/zone/f")
+        kernel.sys.chmod(root, "/zone/f", 0o644)
+        confined = kernel.spawn_task(uid=1000, gid=1000,
+                                     security="sandbox")
+        assert kernel.sys.stat(confined, "/zone/f").filetype == "reg"
+        kernel.sys.setxattr(root, "/zone", "security.label",
+                            b"restricted")
+        # The memoized prefix check must die with the label change.
+        with pytest.raises(errors.EACCES):
+            kernel.sys.stat(confined, "/zone/f")
+        kernel.sys.removexattr(root, "/zone", "security.label")
+        assert kernel.sys.stat(confined, "/zone/f").filetype == "reg"
+
+    def test_relabel_persists_as_xattr(self, kernel, task):
+        kernel.sys.mkdir(task, "/d")
+        kernel.sys.relabel(task, "/d", "web_content")
+        assert kernel.sys.getxattr(task, "/d", "security.label") == \
+            b"web_content"
+
+    def test_xattr_equivalence_across_kernels(self, dual):
+        root = dual.spawn_task(uid=0, gid=0)
+        fd = dual.open(root, "/f", O_CREAT | O_RDWR)
+        dual.close(root, fd)
+        dual.setxattr(root, "/f", "user.k", b"v")
+        assert dual.getxattr(root, "/f", "user.k") == b"v"
+        assert dual.listxattr(root, "/f") == ["user.k"]
+        dual.removexattr(root, "/f", "user.k")
+        with pytest.raises(errors.ENOENT):
+            dual.getxattr(root, "/f", "user.k")
