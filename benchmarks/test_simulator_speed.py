@@ -46,3 +46,24 @@ def test_readdir_wallclock(benchmark):
     build_flat_dir(kernel, task, "/big", 500)
     kernel.sys.listdir(task, "/big")
     benchmark(kernel.sys.listdir, task, "/big")
+
+
+def test_rename_invalidation_wallclock(benchmark):
+    """Mutation side: rename a warm directory, then re-stat under it."""
+    kernel = make_kernel("optimized")
+    task = kernel.spawn_task(uid=0, gid=0)
+    kernel.sys.mkdir(task, "/r")
+    kernel.sys.mkdir(task, "/r/d0")
+    kernel.sys.mkdir(task, "/r/d0/sub")
+    fd = kernel.sys.open(task, "/r/d0/sub/f", O_CREAT | O_RDWR)
+    kernel.sys.close(task, fd)
+    kernel.sys.stat(task, "/r/d0/sub/f")
+    flip = [0]
+
+    def rename_and_stat():
+        src, dst = ("/r/d0", "/r/d1") if flip[0] == 0 else ("/r/d1", "/r/d0")
+        flip[0] ^= 1
+        kernel.sys.rename(task, src, dst)
+        kernel.sys.stat(task, dst + "/sub/f")
+
+    benchmark(rename_and_stat)

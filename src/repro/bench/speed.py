@@ -1,0 +1,253 @@
+"""Simulator speed benchmarks: wall-clock cost of simulated syscalls.
+
+Unlike every ``exp_*`` module (which measures *virtual* time inside the
+simulation), this module measures how fast the simulator itself runs on
+the host — the metric the hot-path optimizations (component-interned
+signature hashing, path-parse memoization, the ``charge_in`` cost fast
+path) are meant to improve.  Virtual-time results are bit-identical
+before and after those optimizations (see ``tests/test_golden_counters``);
+only these wall-clock numbers move.
+
+Two modes:
+
+``repro-speed [--output BENCH_simspeed.json]``
+    Run the benchmark loops (warm stat, create/unlink, readdir, and
+    rename-invalidation on both kernel profiles) and write median
+    microseconds-per-operation to a JSON file.  The committed
+    ``BENCH_simspeed.json`` at the repo root is generated this way.
+
+``repro-speed --check pytest-benchmark.json [--baseline ...]``
+    Compare a pytest-benchmark JSON export (from
+    ``pytest benchmarks/test_simulator_speed.py --benchmark-json=...``)
+    against the committed baseline and exit non-zero if any benchmark's
+    median regressed by more than ``--threshold`` (default 25%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro import O_CREAT, O_RDWR, make_kernel
+from repro.workloads import lmbench
+from repro.workloads.tree import build_flat_dir
+
+#: Kernel profiles every benchmark runs against.
+PROFILES = ("baseline", "optimized")
+
+#: pytest-benchmark test name -> result key in BENCH_simspeed.json.
+#: Used by ``--check`` to line CI benchmark runs up with the committed
+#: baseline numbers.
+PYTEST_NAME_MAP = {
+    "test_warm_stat_wallclock[baseline]": "warm_stat[baseline]",
+    "test_warm_stat_wallclock[optimized]": "warm_stat[optimized]",
+    "test_create_unlink_wallclock": "create_unlink[optimized]",
+    "test_readdir_wallclock": "readdir[optimized]",
+    "test_rename_invalidation_wallclock": "rename_inval[optimized]",
+}
+
+
+# -- benchmark setup ------------------------------------------------------
+
+def _setup_warm_stat(profile: str) -> Callable[[], None]:
+    kernel = make_kernel(profile)
+    task = lmbench.prepare_lookup_tree(kernel)
+    stat = kernel.sys.stat
+    path = lmbench.LONG_PATH
+    stat(task, path)  # warm the caches; steady-state is what we measure
+
+    def op() -> None:
+        stat(task, path)
+
+    return op
+
+
+def _setup_create_unlink(profile: str) -> Callable[[], None]:
+    kernel = make_kernel(profile)
+    task = kernel.spawn_task(uid=0, gid=0)
+    kernel.sys.mkdir(task, "/w")
+    sys_open, sys_close = kernel.sys.open, kernel.sys.close
+    sys_unlink = kernel.sys.unlink
+    counter = [0]
+
+    def op() -> None:
+        path = f"/w/f{counter[0]}"
+        counter[0] += 1
+        fd = sys_open(task, path, O_CREAT | O_RDWR)
+        sys_close(task, fd)
+        sys_unlink(task, path)
+
+    return op
+
+
+def _setup_readdir(profile: str) -> Callable[[], None]:
+    kernel = make_kernel(profile)
+    task = kernel.spawn_task(uid=0, gid=0)
+    build_flat_dir(kernel, task, "/big", 500)
+    listdir = kernel.sys.listdir
+    listdir(task, "/big")
+
+    def op() -> None:
+        listdir(task, "/big")
+
+    return op
+
+
+def _setup_rename_inval(profile: str) -> Callable[[], None]:
+    """Rename a warm directory back and forth, re-statting under it.
+
+    Each op pays the mutation-side invalidation cost (seq bumps, DLHT
+    eviction on the optimized kernel) and then repopulates the caches
+    with a stat — the simulator-speed view of the paper's deliberate
+    lookup/mutation trade-off.
+    """
+    kernel = make_kernel(profile)
+    task = kernel.spawn_task(uid=0, gid=0)
+    kernel.sys.mkdir(task, "/r")
+    kernel.sys.mkdir(task, "/r/d0")
+    kernel.sys.mkdir(task, "/r/d0/sub")
+    fd = kernel.sys.open(task, "/r/d0/sub/f", O_CREAT | O_RDWR)
+    kernel.sys.close(task, fd)
+    kernel.sys.stat(task, "/r/d0/sub/f")
+    rename, stat = kernel.sys.rename, kernel.sys.stat
+    flip = [0]
+
+    def op() -> None:
+        src, dst = ("/r/d0", "/r/d1") if flip[0] == 0 else ("/r/d1", "/r/d0")
+        flip[0] ^= 1
+        rename(task, src, dst)
+        stat(task, dst + "/sub/f")
+
+    return op
+
+
+BENCHMARKS: List[Tuple[str, Callable[[str], Callable[[], None]], int]] = [
+    ("warm_stat", _setup_warm_stat, 10_000),
+    ("create_unlink", _setup_create_unlink, 1_000),
+    ("readdir", _setup_readdir, 100),
+    ("rename_inval", _setup_rename_inval, 1_000),
+]
+
+
+# -- timing ---------------------------------------------------------------
+
+def _measure(setup: Callable[[str], Callable[[], None]], profile: str,
+             n: int, reps: int) -> float:
+    """Median microseconds per op over ``reps`` fresh-kernel repetitions."""
+    samples = []
+    for _ in range(reps):
+        op = setup(profile)
+        t0 = time.perf_counter()
+        for _ in range(n):
+            op()
+        samples.append((time.perf_counter() - t0) / n * 1e6)
+    return statistics.median(samples)
+
+
+def run_benchmarks(scale: float = 1.0, reps: int = 3,
+                   verbose: bool = True) -> Dict[str, float]:
+    """Run every benchmark on every profile; returns key -> µs/op."""
+    results: Dict[str, float] = {}
+    for name, setup, n in BENCHMARKS:
+        iters = max(1, int(n * scale))
+        for profile in PROFILES:
+            key = f"{name}[{profile}]"
+            results[key] = round(_measure(setup, profile, iters, reps), 3)
+            if verbose:
+                print(f"  {key:32s} {results[key]:10.2f} us/op")
+    return results
+
+
+# -- regression check -----------------------------------------------------
+
+def check_regressions(pytest_json: str, baseline_json: str,
+                      threshold: float) -> int:
+    """Compare a pytest-benchmark export against the committed baseline.
+
+    Returns a process exit code: 0 if every mapped benchmark's median is
+    within ``threshold`` (fractional, e.g. 0.25) of the baseline.
+    """
+    with open(pytest_json) as fh:
+        bench_data = json.load(fh)
+    with open(baseline_json) as fh:
+        baseline = json.load(fh)["results"]
+
+    failed = False
+    checked = 0
+    for bench in bench_data.get("benchmarks", []):
+        key = PYTEST_NAME_MAP.get(bench["name"])
+        if key is None or key not in baseline:
+            continue
+        checked += 1
+        median_us = bench["stats"]["median"] * 1e6
+        base_us = baseline[key]
+        ratio = median_us / base_us if base_us else float("inf")
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            failed = True
+        print(f"  {bench['name']:44s} {median_us:9.2f} us "
+              f"(baseline {base_us:9.2f} us, {ratio:5.2f}x) {status}")
+    if checked == 0:
+        print("error: no benchmarks in the export matched the baseline",
+              file=sys.stderr)
+        return 2
+    if failed:
+        print(f"FAIL: at least one median regressed more than "
+              f"{threshold:.0%} vs {baseline_json}")
+        return 1
+    print(f"OK: {checked} benchmark(s) within {threshold:.0%} of baseline")
+    return 0
+
+
+# -- CLI ------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    """CLI entry point (``repro-speed``): run benchmarks or ``--check``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-speed",
+        description="Measure (or regression-check) simulator wall-clock "
+                    "speed.")
+    parser.add_argument("--output", default="BENCH_simspeed.json",
+                        help="where to write results (default: %(default)s)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="iteration-count multiplier (e.g. 0.1 for a "
+                             "quick smoke run)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per benchmark; median is kept")
+    parser.add_argument("--check", metavar="PYTEST_JSON",
+                        help="pytest-benchmark JSON export to check against "
+                             "the committed baseline instead of running")
+    parser.add_argument("--baseline", default="BENCH_simspeed.json",
+                        help="baseline file for --check (default: "
+                             "%(default)s)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional median regression for "
+                             "--check (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check_regressions(args.check, args.baseline, args.threshold)
+
+    print("Simulator speed (median wall-clock us per simulated op):")
+    results = run_benchmarks(scale=args.scale, reps=args.reps)
+    payload = {
+        "schema": "dcache-repro-simspeed/1",
+        "units": "us_per_op",
+        "reps": args.reps,
+        "scale": args.scale,
+        "results": results,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

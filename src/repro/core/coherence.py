@@ -129,6 +129,8 @@ class FastDcacheHooks(DcacheHooks):
     (the two reference each other).
     """
 
+    __slots__ = ("coherence", "dcache")
+
     def __init__(self, coherence: Coherence):
         self.coherence = coherence
         self.dcache = None

@@ -27,6 +27,8 @@ from repro.vfs.dentry import Dentry
 class DirectLookupHashTable:
     """One namespace's signature -> dentry index."""
 
+    __slots__ = ("costs", "stats", "_table")
+
     def __init__(self, costs: CostModel, stats: Stats):
         self.costs = costs
         self.stats = stats

@@ -70,7 +70,11 @@ class _WalkCtx:
 
 
 class FastLookup(WalkHooks):
-    """Optimized resolver: fastpath + slowpath population hooks."""
+    """Optimized resolver: fastpath + slowpath population hooks.
+
+    No ``__slots__`` here: one instance exists per kernel (nothing to
+    save) and tests shim individual hook methods on the instance.
+    """
 
     def __init__(self, costs: CostModel, stats: Stats, config,
                  dcache: Dcache, hasher: PathHasher, coherence: Coherence,
@@ -109,8 +113,7 @@ class FastLookup(WalkHooks):
         # The fastpath sets up less state than a full nameidata; the
         # difference is charged on fallback, where the slowpath completes
         # the setup.
-        with self.costs.scope("init"):
-            self.costs.charge("fastpath_init")
+        self.costs.charge_in("init", "fastpath_init")
         outcome = self._try_fastpath(task, start, comps, path,
                                      must_dir=must_dir,
                                      follow_last=follow_last,
@@ -119,14 +122,12 @@ class FastLookup(WalkHooks):
         if outcome is not None:
             kind, payload = outcome
             self.stats.bump("fastpath_hit")
-            with self.costs.scope("final"):
-                self.costs.charge("lookup_final")
+            self.costs.charge_in("final", "lookup_final")
             if kind == "raise":
                 raise payload
             return payload
         self.stats.bump("fastpath_miss")
-        with self.costs.scope("init"):
-            self.costs.charge("fastpath_init")  # complete the nameidata
+        self.costs.charge_in("init", "fastpath_init")  # complete the nameidata
         try:
             result = self.slow.resolve(task, path, follow_last=follow_last,
                                        intent_create=intent_create,
@@ -137,8 +138,7 @@ class FastLookup(WalkHooks):
         finally:
             self._prehashed_components = 0
             self._prehashed_bytes = 0
-        with self.costs.scope("final"):
-            self.costs.charge("lookup_final")
+        self.costs.charge_in("final", "lookup_final")
         return result
 
     def pcc_for(self, cred) -> PrefixCheckCache:
@@ -170,9 +170,8 @@ class FastLookup(WalkHooks):
             self._prehashed_components -= 1
             self._prehashed_bytes = max(0, self._prehashed_bytes - extra)
         else:
-            with self.costs.scope("hash"):
-                self.costs.charge(self.hasher.cost_primitive,
-                                  nbytes=extra)
+            self.costs.charge_in("hash", self.hasher.cost_primitive,
+                                 nbytes=extra)
         return self.hasher.extend(state, name)
 
     def _extend_probe(self, state: SigState, name: str) -> SigState:
@@ -202,6 +201,8 @@ class FastLookup(WalkHooks):
             return None
         i = 0
         total = len(comps)
+        extend_probe = self._extend_probe
+        finish = self.hasher.finish
         while i < total:
             if comps[i] == "..":
                 # Linux dot-dot semantics: one extra fastpath-validated
@@ -223,9 +224,9 @@ class FastLookup(WalkHooks):
                 j += 1
             seg_state = state
             for name in comps[i:j]:
-                seg_state = self._extend_probe(seg_state, name)
+                seg_state = extend_probe(seg_state, name)
             with self.costs.scope("htlookup"):
-                found = dlht.probe(self.hasher.finish(seg_state))
+                found = dlht.probe(finish(seg_state))
             if found is None or found.dead:
                 return None
             if j == total:
@@ -287,8 +288,7 @@ class FastLookup(WalkHooks):
         fast = result.fast
         if fast is None or fast.mount is None:
             return None
-        with self.costs.scope("final"):
-            self.costs.charge("mount_flag_check")
+        self.costs.charge_in("final", "mount_flag_check")
         return ("ok", PathPos(fast.mount, result))
 
     def _follow_cached_link(self, task: Task, pcc: PrefixCheckCache,

@@ -31,6 +31,8 @@ DEFAULT_CAPACITY = 64 * 1024 // 16
 class PrefixCheckCache:
     """One credential's memoized prefix checks."""
 
+    __slots__ = ("costs", "stats", "capacity", "_entries")
+
     def __init__(self, costs: CostModel, stats: Stats,
                  capacity: int = DEFAULT_CAPACITY):
         self.costs = costs
@@ -84,6 +86,8 @@ class AdaptivePrefixCheckCache(PrefixCheckCache):
     half its capacity since the last resize — the signature of a working
     set larger than the cache — double the capacity, up to a hard cap.
     """
+
+    __slots__ = ("max_capacity", "_misses_since_resize")
 
     def __init__(self, costs: CostModel, stats: Stats,
                  capacity: int = DEFAULT_CAPACITY,

@@ -23,7 +23,7 @@ collision search.
 from __future__ import annotations
 
 import random
-from typing import NamedTuple, Tuple
+from typing import Dict, NamedTuple, Tuple
 
 #: Two Mersenne primes; hashing is polynomial evaluation over each field.
 _P1 = (1 << 127) - 1
@@ -31,6 +31,33 @@ _P2 = (1 << 89) - 1
 
 #: Bits taken from the combined output for the DLHT bucket index.
 INDEX_BITS = 16
+
+#: Precomputed r^k tables cover components up to NAME_MAX bytes plus a
+#: separator; longer inputs (legal when calling the hasher directly) fall
+#: back to pow(r, k, p).
+_POW_TABLE_SIZE = 258
+
+#: Per-hasher component-contribution cache bound.  Path components repeat
+#: heavily (a file tree has far fewer distinct names than lookups), so a
+#: flat clear on overflow keeps memory bounded without LRU bookkeeping on
+#: the hit path.
+_COMPONENT_CACHE_CAP = 1 << 16
+
+#: Shared component -> UTF-8 bytes memo (bounded like the above).  Both
+#: hasher classes consult it so a hot component is encoded once per
+#: process, not once per lookup.
+_ENCODE_CACHE: Dict[str, bytes] = {}
+
+
+def encode_component(component: str) -> bytes:
+    """UTF-8 (surrogateescape) encoding of one component, memoized."""
+    cached = _ENCODE_CACHE.get(component)
+    if cached is None:
+        if len(_ENCODE_CACHE) >= _COMPONENT_CACHE_CAP:
+            _ENCODE_CACHE.clear()
+        cached = component.encode("utf-8", "surrogateescape")
+        _ENCODE_CACHE[component] = cached
+    return cached
 
 
 class SigState(NamedTuple):
@@ -74,25 +101,107 @@ class PathHasher:
         self.signature_bits = signature_bits
         self.index_bits = index_bits
         self._sig_mask = (1 << signature_bits) - 1
+        # r^k mod p tables so absorbing an m-byte component is one
+        # multiply per field instead of m Horner steps.
+        pow1 = [1] * _POW_TABLE_SIZE
+        pow2 = [1] * _POW_TABLE_SIZE
+        for k in range(1, _POW_TABLE_SIZE):
+            pow1[k] = (pow1[k - 1] * self.r1) % _P1
+            pow2[k] = (pow2[k - 1] * self.r2) % _P2
+        self._pow1 = pow1
+        self._pow2 = pow2
+        # component -> (c1, c2, s1, s2, nbytes, nchars): the component's
+        # polynomial contribution per field, the same with a leading '/'
+        # folded in, its encoded byte length, and its character length
+        # (SigState.length counts characters, matching the original
+        # per-byte loop's ``len(text)`` bookkeeping).
+        self._contrib: Dict[str, Tuple[int, int, int, int, int, int]] = {}
 
     #: The state of the empty path (the namespace root).
     EMPTY = SigState(0, 0, 0)
 
+    def _pow(self, table, r: int, p: int, k: int) -> int:
+        if k < _POW_TABLE_SIZE:
+            return table[k]
+        return pow(r, k, p)
+
+    def _contribution(self, component: str):
+        """Intern one component's per-field hash contribution.
+
+        For bytes ``b_0 .. b_{m-1}`` with values ``v_i = b_i + 1`` the
+        Horner loop computes ``h * r^m + sum(v_i * r^(m-1-i))``; the sum
+        is independent of ``h``, so it is computed once per distinct
+        component and replayed with one multiply and one add per field.
+        """
+        entry = self._contrib.get(component)
+        if entry is not None:
+            return entry
+        encoded = encode_component(component)
+        m = len(encoded)
+        c1 = c2 = 0
+        r1, r2 = self.r1, self.r2
+        for byte in encoded:
+            value = byte + 1
+            c1 = (c1 * r1 + value) % _P1
+            c2 = (c2 * r2 + value) % _P2
+        # With a leading separator the text is "/" + component: the
+        # slash's value (ord('/') + 1 = 48) is scaled past the component.
+        s1 = (48 * self._pow(self._pow1, r1, _P1, m) + c1) % _P1
+        s2 = (48 * self._pow(self._pow2, r2, _P2, m) + c2) % _P2
+        entry = (c1, c2, s1, s2, m, len(component))
+        if len(self._contrib) >= _COMPONENT_CACHE_CAP:
+            self._contrib.clear()
+        self._contrib[component] = entry
+        return entry
+
     def extend(self, state: SigState, component: str) -> SigState:
         """Resume ``state`` with one more path component."""
-        text = component if state.length == 0 else "/" + component
-        h1, h2 = state.h1, state.h2
-        r1, r2 = self.r1, self.r2
-        for byte in text.encode("utf-8", "surrogateescape"):
-            value = byte + 1  # avoid absorbing leading NULs
-            h1 = (h1 * r1 + value) % _P1
-            h2 = (h2 * r2 + value) % _P2
-        return SigState(h1, h2, state.length + len(text))
+        entry = self._contrib.get(component)
+        if entry is None:
+            entry = self._contribution(component)
+        c1, c2, s1, s2, m, nchars = entry
+        h1, h2, length = state
+        if length == 0:
+            if m < _POW_TABLE_SIZE:
+                h1 = (h1 * self._pow1[m] + c1) % _P1
+                h2 = (h2 * self._pow2[m] + c2) % _P2
+            else:
+                h1 = (h1 * pow(self.r1, m, _P1) + c1) % _P1
+                h2 = (h2 * pow(self.r2, m, _P2) + c2) % _P2
+            return SigState(h1, h2, nchars)
+        k = m + 1
+        if k < _POW_TABLE_SIZE:
+            h1 = (h1 * self._pow1[k] + s1) % _P1
+            h2 = (h2 * self._pow2[k] + s2) % _P2
+        else:
+            h1 = (h1 * pow(self.r1, k, _P1) + s1) % _P1
+            h2 = (h2 * pow(self.r2, k, _P2) + s2) % _P2
+        return SigState(h1, h2, length + nchars + 1)
 
     def extend_components(self, state: SigState, components) -> SigState:
+        """Resume ``state`` over many components in O(components) time."""
+        contrib = self._contrib
+        contribution = self._contribution
+        pow1, pow2 = self._pow1, self._pow2
+        h1, h2, length = state
         for component in components:
-            state = self.extend(state, component)
-        return state
+            entry = contrib.get(component)
+            if entry is None:
+                entry = contribution(component)
+            c1, c2, s1, s2, m, nchars = entry
+            if length == 0:
+                k, a1, a2 = m, c1, c2
+                length = nchars
+            else:
+                k, a1, a2 = m + 1, s1, s2
+                length += nchars + 1
+            if k < _POW_TABLE_SIZE:
+                h1 = (h1 * pow1[k] + a1) % _P1
+                h2 = (h2 * pow2[k] + a2) % _P2
+            else:
+                h1 = (h1 * pow(self.r1, k, _P1) + a1) % _P1
+                h2 = (h2 * pow(self.r2, k, _P2) + a2) % _P2
+        return SigState(h1, h2, length)
 
     def finish(self, state: SigState) -> Signature:
         """Produce the (index, signature) pair for a finished path."""
@@ -149,10 +258,14 @@ class PrfPathHasher:
         return PrfSigState(digest, 0)
 
     def extend(self, state: PrfSigState, component: str) -> PrfSigState:
-        text = component if state.length == 0 else "/" + component
+        encoded = encode_component(component)
         digest = state.digest.copy()
-        digest.update(text.encode("utf-8", "surrogateescape"))
-        return PrfSigState(digest, state.length + len(text))
+        if state.length == 0:
+            digest.update(encoded)
+            return PrfSigState(digest, state.length + len(component))
+        digest.update(b"/")
+        digest.update(encoded)
+        return PrfSigState(digest, state.length + len(component) + 1)
 
     def extend_components(self, state, components):
         for component in components:

@@ -25,8 +25,7 @@ Figure 3 breakdown and Figure 1 time-fraction experiments are produced.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.sim.clock import Clock
 
@@ -101,14 +100,41 @@ CALIBRATED: Dict[str, float] = {
 UNIT: Dict[str, float] = {name: 1.0 for name in CALIBRATED}
 
 
+class _ScopeGuard:
+    """Reusable, allocation-free replacement for a contextmanager scope.
+
+    One guard exists per (CostModel, label); entering pushes the label on
+    the model's scope stack and exiting pops it, so nesting — including
+    re-entering the same label — behaves exactly like the previous
+    generator-based implementation at a fraction of the cost.
+    """
+
+    __slots__ = ("_stack", "_label")
+
+    def __init__(self, stack: list, label: str):
+        self._stack = stack
+        self._label = label
+
+    def __enter__(self) -> None:
+        self._stack.append(self._label)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stack.pop()
+
+
 class CostModel:
     """Charges virtual time for primitives and attributes it to scopes.
 
     Args:
         charges: primitive-name -> nanoseconds table; defaults to a copy
-            of :data:`CALIBRATED`.
+            of :data:`CALIBRATED`.  The table is read once at
+            construction (per-call and per-byte rates are precomputed);
+            mutate it only via :meth:`recalibrate`.
         clock: the clock to advance; a private one is created if omitted.
     """
+
+    __slots__ = ("charges", "clock", "_scope_stack", "by_scope",
+                 "by_primitive", "counts", "_rates", "_guards")
 
     def __init__(self, charges: Optional[Dict[str, float]] = None,
                  clock: Optional[Clock] = None):
@@ -118,6 +144,22 @@ class CostModel:
         self.by_scope: Dict[str, float] = {}
         self.by_primitive: Dict[str, float] = {}
         self.counts: Dict[str, int] = {}
+        self._guards: Dict[str, _ScopeGuard] = {}
+        self._rates: Dict[str, Tuple[float, float]] = {}
+        self._rebuild_rates()
+
+    def _rebuild_rates(self) -> None:
+        """Precompute (per-call, per-byte) pairs for the charge fast path."""
+        charges = self.charges
+        self._rates = {
+            name: (value, charges.get(name + "_per_byte", 0.0))
+            for name, value in charges.items()
+        }
+
+    def recalibrate(self, **changes: float) -> None:
+        """Adjust charge rates after construction (tests, sweeps)."""
+        self.charges.update(changes)
+        self._rebuild_rates()
 
     # -- charging ---------------------------------------------------------
 
@@ -128,18 +170,67 @@ class CostModel:
         they indicate a typo, not a free operation.
         """
         try:
-            ns = self.charges[primitive] * times
+            per_call, per_byte = self._rates[primitive]
         except KeyError:
             raise KeyError(f"unknown cost primitive: {primitive!r}") from None
+        ns = per_call * times
         if nbytes:
-            per_byte = self.charges.get(primitive + "_per_byte", 0.0)
             ns += per_byte * nbytes
-        self.clock.advance(ns)
-        self.by_primitive[primitive] = self.by_primitive.get(primitive, 0.0) + ns
-        self.counts[primitive] = self.counts.get(primitive, 0) + times
-        if self._scope_stack:
-            scope = self._scope_stack[-1]
-            self.by_scope[scope] = self.by_scope.get(scope, 0.0) + ns
+        # Charge rates are nonnegative, so the clock's monotonicity check
+        # is skipped on this fast path (Clock.advance validates for
+        # everyone else; charge_ns still goes through it).
+        clock = self.clock
+        clock._now_ns = clock._now_ns + ns
+        by_primitive = self.by_primitive
+        counts = self.counts
+        try:
+            # counts-first: a counts key implies a by_primitive key (the
+            # reverse is false — charge_ns seeds by_primitive alone), so
+            # a KeyError here means neither dict was touched yet.
+            counts[primitive] += times
+            by_primitive[primitive] += ns
+        except KeyError:
+            counts[primitive] = counts.get(primitive, 0) + times
+            by_primitive[primitive] = by_primitive.get(primitive, 0.0) + ns
+        stack = self._scope_stack
+        if stack:
+            scope = stack[-1]
+            by_scope = self.by_scope
+            try:
+                by_scope[scope] += ns
+            except KeyError:
+                by_scope[scope] = ns
+        return ns
+
+    def charge_in(self, scope: str, primitive: str, times: int = 1,
+                  nbytes: int = 0) -> float:
+        """Charge ``primitive`` attributed directly to ``scope``.
+
+        Equivalent to ``with self.scope(scope): self.charge(...)`` for a
+        single charge, without the stack push/pop — the hot-loop form.
+        """
+        try:
+            per_call, per_byte = self._rates[primitive]
+        except KeyError:
+            raise KeyError(f"unknown cost primitive: {primitive!r}") from None
+        ns = per_call * times
+        if nbytes:
+            ns += per_byte * nbytes
+        clock = self.clock
+        clock._now_ns = clock._now_ns + ns
+        by_primitive = self.by_primitive
+        counts = self.counts
+        try:
+            counts[primitive] += times
+            by_primitive[primitive] += ns
+        except KeyError:
+            counts[primitive] = counts.get(primitive, 0) + times
+            by_primitive[primitive] = by_primitive.get(primitive, 0.0) + ns
+        by_scope = self.by_scope
+        try:
+            by_scope[scope] += ns
+        except KeyError:
+            by_scope[scope] = ns
         return ns
 
     def charge_ns(self, scope_hint: str, ns: float) -> None:
@@ -152,18 +243,17 @@ class CostModel:
 
     # -- attribution --------------------------------------------------------
 
-    @contextmanager
-    def scope(self, label: str) -> Iterator[None]:
-        """Attribute charges inside the block to ``label``.
+    def scope(self, label: str) -> _ScopeGuard:
+        """Attribute charges inside the ``with`` block to ``label``.
 
         Scopes do not nest additively: the innermost label wins, matching
         how a profiler attributes exclusive time.
         """
-        self._scope_stack.append(label)
-        try:
-            yield
-        finally:
-            self._scope_stack.pop()
+        guard = self._guards.get(label)
+        if guard is None:
+            guard = _ScopeGuard(self._scope_stack, label)
+            self._guards[label] = guard
+        return guard
 
     def reset_attribution(self) -> None:
         """Clear scope/primitive attribution without touching the clock."""

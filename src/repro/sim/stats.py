@@ -31,11 +31,14 @@ class Stats:
     * ``inval_dentry`` — dentries visited by coherence shootdowns.
     """
 
+    __slots__ = ("_counters",)
+
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
 
     def bump(self, name: str, by: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + by
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + by
 
     def get(self, name: str) -> int:
         return self._counters.get(name, 0)

@@ -27,6 +27,8 @@ from repro.vfs.inode import Inode, InodeTable
 class DcacheHooks:
     """Extension points the optimized kernel implements (all no-ops here)."""
 
+    __slots__ = ()
+
     def on_evict(self, dentry: Dentry) -> None:
         """Called just before ``dentry`` is removed to reclaim space."""
 
@@ -53,6 +55,9 @@ class Dcache:
         capacity: maximum number of cached dentries before LRU shrink.
         hooks: optimized-kernel coherence callbacks.
     """
+
+    __slots__ = ("costs", "stats", "capacity", "hooks", "_hash", "_lru",
+                 "_roots", "_inode_tables", "count")
 
     def __init__(self, costs: CostModel, stats: Stats,
                  capacity: int = 1_000_000,
@@ -95,12 +100,22 @@ class Dcache:
         return (id(parent), name)
 
     def d_lookup(self, parent: Dentry, name: str) -> Optional[Dentry]:
-        """Primary-table lookup: one bucket probe + chain compare."""
-        self.costs.charge("ht_probe")
-        self.costs.charge("chain_compare")
-        dentry = self._hash.get(self._key(parent, name))
+        """Primary-table lookup: one bucket probe + chain compare.
+
+        Charges are attributed straight to the walk's "htlookup" scope
+        (the only scope this is called under) via the charge_in fast
+        path.
+        """
+        charge_in = self.costs.charge_in
+        charge_in("htlookup", "ht_probe")
+        charge_in("htlookup", "chain_compare")
+        dentry = self._hash.get((id(parent), name))
         if dentry is not None:
-            self._touch_lru(dentry)
+            charge_in("htlookup", "lru_touch")
+            lru = self._lru
+            lru[id(dentry)] = dentry
+            lru.move_to_end(id(dentry))
+            dentry.in_lru = True
         return dentry
 
     def d_alloc(self, parent: Dentry, name: str,

@@ -20,7 +20,8 @@ class Inode:
     """In-memory inode for one (fs, ino) pair."""
 
     __slots__ = ("fs", "ino", "mode", "uid", "gid", "nlink", "size",
-                 "symlink_target", "security", "seq", "mtime_ns")
+                 "symlink_target", "security", "seq", "mtime_ns",
+                 "filetype", "is_dir", "is_symlink")
 
     def __init__(self, fs: FileSystem, info: NodeInfo):
         self.fs = fs
@@ -36,20 +37,15 @@ class Inode:
         self.security: Optional[str] = None
         #: Bumped on any permission-relevant change; read by tests.
         self.seq = 0
+        self._refresh_type()
 
-    # -- type predicates -----------------------------------------------------
-
-    @property
-    def filetype(self) -> str:
-        return mode_filetype(self.mode)
-
-    @property
-    def is_dir(self) -> bool:
-        return self.filetype == DT_DIR
-
-    @property
-    def is_symlink(self) -> bool:
-        return self.filetype == DT_LNK
+    def _refresh_type(self) -> None:
+        # ``mode`` changes only through __init__/apply, so the derived
+        # type predicates are cached attributes, not per-access
+        # recomputation (is_dir runs several times per walked component).
+        self.filetype = mode_filetype(self.mode)
+        self.is_dir = self.filetype == DT_DIR
+        self.is_symlink = self.filetype == DT_LNK
 
     @property
     def perm_bits(self) -> int:
@@ -67,6 +63,7 @@ class Inode:
         self.symlink_target = info.symlink_target
         self.mtime_ns = info.mtime_ns
         self.seq += 1
+        self._refresh_type()
 
     def __repr__(self) -> str:
         return (f"Inode({self.fs.fstype}:{self.ino} {self.filetype} "

@@ -10,18 +10,41 @@ folding for the ``lexical_dotdot`` kernel configuration (§4.2).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro import errors
 
 PATH_MAX = 4096
 NAME_MAX = 255
 
+#: Bounded memo caps for the parse caches below.  Real workloads resolve
+#: the same path strings over and over (every warm lookup re-parses its
+#: path), so memoizing the pure parse removes a per-lookup string scan
+#: from the simulator's hot path.  Entries are immutable tuples; hits
+#: return fresh lists so callers may mutate their copy freely.
+_SPLIT_CACHE_CAP = 8192
+_LEXNORM_CACHE_CAP = 4096
+
+_split_cache: Dict[str, Tuple[bool, Tuple[str, ...], bool]] = {}
+_lexnorm_cache: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
+
+
+def _cache_insert(cache: dict, cap: int, key, value) -> None:
+    """Insert into a bounded memo, evicting the oldest entry when full."""
+    if len(cache) >= cap:
+        del cache[next(iter(cache))]
+    cache[key] = value
+
 
 def validate(path: str) -> None:
     """Raise ENAMETOOLONG/EINVAL for malformed paths."""
     if not path:
         raise errors.EINVAL(path, "empty path")
+    if "\x00" in path:
+        # Kernel behavior: a path is a NUL-terminated string, so an
+        # embedded NUL can never reach the VFS; the syscall layer
+        # rejects it with EINVAL before any resolution starts.
+        raise errors.EINVAL(path, "embedded NUL byte")
     if len(path) > PATH_MAX:
         raise errors.ENAMETOOLONG(path)
 
@@ -33,7 +56,16 @@ def split(path: str) -> Tuple[bool, List[str], bool]:
     ``..`` is kept.  ``must_be_dir`` is True for paths with a trailing
     slash or that end in ``.``/``..``, which constrains the final
     component to resolve to a directory.
+
+    Successful parses are memoized (bounded, oldest-evicted): the parse
+    is a pure function of the path string, so warm lookups skip the
+    validation scan and the split loop entirely.  Failures are not
+    cached — they already take the slow exception path.
     """
+    cached = _split_cache.get(path)
+    if cached is not None:
+        is_absolute, comps, must_be_dir = cached
+        return is_absolute, list(comps), must_be_dir
     validate(path)
     is_absolute = path.startswith("/")
     raw = path.split("/")
@@ -47,6 +79,8 @@ def split(path: str) -> Tuple[bool, List[str], bool]:
     must_be_dir = path.endswith(("/", "/.", "/..")) or path in (".", "..")
     if components and components[-1] == "..":
         must_be_dir = True
+    _cache_insert(_split_cache, _SPLIT_CACHE_CAP, path,
+                  (is_absolute, tuple(components), must_be_dir))
     return is_absolute, components, must_be_dir
 
 
@@ -55,14 +89,19 @@ def lexical_normalize(components: List[str]) -> List[str]:
 
     ``a/b/../c`` becomes ``a/c`` without consulting the file system.
     Leading ``..`` components (above the start) are preserved; the walk
-    clamps them at the root.
+    clamps them at the root.  Results are memoized like :func:`split`.
     """
+    key = tuple(components)
+    cached = _lexnorm_cache.get(key)
+    if cached is not None:
+        return list(cached)
     out: List[str] = []
     for part in components:
         if part == ".." and out and out[-1] != "..":
             out.pop()
         else:
             out.append(part)
+    _cache_insert(_lexnorm_cache, _LEXNORM_CACHE_CAP, key, tuple(out))
     return out
 
 

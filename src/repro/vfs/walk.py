@@ -42,6 +42,8 @@ class WalkHooks:
     walk treats it as opaque.
     """
 
+    __slots__ = ()
+
     def begin(self, task: Task, start: PathPos, absolute: bool):
         return None
 
@@ -82,6 +84,8 @@ class _LinkBudget:
 
 class SlowWalk:
     """Component-at-a-time resolver over one kernel's caches."""
+
+    __slots__ = ("costs", "stats", "dcache", "config", "lsm", "hooks")
 
     def __init__(self, costs: CostModel, stats: Stats, dcache: Dcache,
                  config, lsm: Optional[Lsm] = None,
@@ -141,6 +145,9 @@ class SlowWalk:
         pos = start
         ns = task.ns
         total = len(comps)
+        costs = self.costs
+        charge_in = costs.charge_in
+        bump = self.stats.bump
         for i, name in enumerate(comps):
             last = i == total - 1
             cur = pos.dentry
@@ -149,12 +156,10 @@ class SlowWalk:
             if not cur.is_dir:
                 raise errors.ENOTDIR(path_hint)
             self._check_search(task, cur, path_hint)
-            self.stats.bump("component_step")
-            with self.costs.scope("hash"):
-                self.costs.charge("component_hash", nbytes=len(name))
-            with self.costs.scope("htlookup"):
-                self.costs.charge("read_barrier")
-                self.costs.charge("seqlock_read")
+            bump("component_step")
+            charge_in("hash", "component_hash", nbytes=len(name))
+            charge_in("htlookup", "read_barrier")
+            charge_in("htlookup", "seqlock_read")
             if name == "..":
                 pos = ns.cross_down(ns.parent_pos(pos, task.root))
                 self.hooks.dotdot(ctx, pos)
@@ -229,13 +234,12 @@ class SlowWalk:
     def _check_search(self, task: Task, dentry: Dentry,
                       path_hint: str) -> None:
         inode = dentry.inode
-        with self.costs.scope("perm"):
-            self.costs.charge("perm_check_dac")
-            allowed = perms.may_search(task.cred, inode)
-            if allowed and not isinstance(self.lsm, NullLsm):
-                self.costs.charge("perm_check_lsm")
-                allowed = self.lsm.inode_permission(task.cred, inode,
-                                                    perms.MAY_EXEC)
+        self.costs.charge_in("perm", "perm_check_dac")
+        allowed = perms.may_search(task.cred, inode)
+        if allowed and not isinstance(self.lsm, NullLsm):
+            self.costs.charge_in("perm", "perm_check_lsm")
+            allowed = self.lsm.inode_permission(task.cred, inode,
+                                                perms.MAY_EXEC)
         if not allowed:
             raise errors.EACCES(path_hint)
 
@@ -246,8 +250,8 @@ class SlowWalk:
         name does not exist *and* no negative dentry may be cached for it
         (baseline pseudo-fs rule).
         """
-        with self.costs.scope("htlookup"):
-            child = self.dcache.d_lookup(cur, name)
+        # d_lookup attributes its own charges to "htlookup" (charge_in).
+        child = self.dcache.d_lookup(cur, name)
         if child is not None:
             self.stats.bump("dcache_hit")
             if cur.inode.fs.requires_revalidation:

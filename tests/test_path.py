@@ -58,6 +58,15 @@ class TestSplit:
         comps = vfspath.split("/" + "x" * vfspath.NAME_MAX)[1]
         assert len(comps[0]) == vfspath.NAME_MAX
 
+    @pytest.mark.parametrize("bad", ["/a\x00b", "\x00", "/etc\x00",
+                                     "a/b/\x00c"])
+    def test_embedded_nul_rejected(self, bad):
+        # POSIX paths are NUL-terminated byte strings: an embedded NUL
+        # can never reach a real kernel, so the simulator rejects it
+        # up front with EINVAL rather than silently truncating.
+        with pytest.raises(errors.EINVAL):
+            vfspath.split(bad)
+
 
 class TestLexicalNormalize:
     def test_folds_dotdot(self):

@@ -9,11 +9,26 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.signatures import (INDEX_BITS, PathHasher, SigState,
-                                   collision_probability, queries_for_risk)
+                                   collision_probability, make_hasher,
+                                   queries_for_risk)
 
 NAMES = st.text(
     alphabet=st.characters(codec="utf-8", exclude_characters="/\x00"),
     min_size=1, max_size=24)
+
+#: Lone surrogates as produced by os.fsdecode()'s surrogateescape for
+#: non-UTF-8 bytes on disk — legal in our path strings.
+SURROGATE_NAMES = st.text(
+    alphabet=st.characters(min_codepoint=0xDC80, max_codepoint=0xDCFF),
+    min_size=1, max_size=8)
+
+#: Names whose byte length straddles NAME_MAX (255): the interned
+#: contribution cache uses precomputed power tables up to NAME_MAX + a
+#: separator, and must fall back to pow() beyond that.
+LONG_NAMES = st.sampled_from(
+    ["x" * 254, "y" * 255, "z" * 256, "é" * 130])  # "é"*130 = 260 bytes
+
+ANY_NAME = st.one_of(NAMES, SURROGATE_NAMES, LONG_NAMES)
 
 
 @pytest.fixture
@@ -46,6 +61,42 @@ class TestResumability:
         assert state.length == 2
         state = hasher.extend(state, "cd")
         assert state.length == 5  # "ab/cd"
+
+
+class TestResumeFromStoredPrefix:
+    """Satellite property: any stored prefix SigState resumes exactly.
+
+    The DLHT stores per-dentry SigStates and the fastpath resumes hashing
+    from whichever prefix it hit (§3.2), so this equality — for both
+    signature schemes, including surrogateescape names and names at or
+    past NAME_MAX — is load-bearing, not cosmetic.
+    """
+
+    @pytest.mark.parametrize("scheme", ["universal", "prf"])
+    @given(components=st.lists(ANY_NAME, max_size=6))
+    def test_every_prefix_state_resumes_to_full_hash(self, scheme,
+                                                     components):
+        hasher = make_hasher(scheme, boot_seed=1234)
+        full = hasher.sign_components(components)
+        states = [hasher.EMPTY]
+        for name in components:
+            states.append(hasher.extend(states[-1], name))
+        for i, state in enumerate(states):
+            resumed = hasher.extend_components(state, components[i:])
+            assert hasher.finish(resumed) == full
+
+    @pytest.mark.parametrize("scheme", ["universal", "prf"])
+    def test_surrogateescape_and_name_max_adjacent(self, scheme):
+        hasher = make_hasher(scheme, boot_seed=99)
+        components = ["\udcff\udc80bad", "x" * 254, "ordinary",
+                      "y" * 255, "é" * 130, "f"]
+        full = hasher.sign_components(components)
+        state = hasher.EMPTY
+        for i, name in enumerate(components):
+            resumed = hasher.extend_components(state, components[i:])
+            assert hasher.finish(resumed) == full
+            state = hasher.extend(state, name)
+        assert hasher.finish(state) == full
 
 
 class TestDiscrimination:
