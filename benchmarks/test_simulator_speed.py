@@ -1,7 +1,10 @@
 """Raw simulator throughput: wall-clock cost of simulated syscalls.
 
 Not a paper experiment — this measures the *reproduction's* own speed,
-so regressions in the simulator implementation show up in CI.
+so regressions in the simulator implementation show up in CI.  The
+mutation-side benchmarks run on both coherence designs (eager
+``optimized`` and epoch-based ``optimized-lazy``) so the lazy
+invalidation path is covered by the same regression gate.
 """
 
 import pytest
@@ -10,7 +13,8 @@ from repro import O_CREAT, O_RDWR, make_kernel
 from repro.workloads import lmbench
 
 
-@pytest.fixture(scope="module", params=["baseline", "optimized"])
+@pytest.fixture(scope="module",
+                params=["baseline", "optimized", "optimized-lazy"])
 def warm_kernel(request):
     kernel = make_kernel(request.param)
     task = lmbench.prepare_lookup_tree(kernel)
@@ -23,8 +27,9 @@ def test_warm_stat_wallclock(benchmark, warm_kernel):
     benchmark(kernel.sys.stat, task, lmbench.LONG_PATH)
 
 
-def test_create_unlink_wallclock(benchmark):
-    kernel = make_kernel("optimized")
+@pytest.mark.parametrize("profile", ["optimized", "optimized-lazy"])
+def test_create_unlink_wallclock(benchmark, profile):
+    kernel = make_kernel(profile)
     task = kernel.spawn_task(uid=0, gid=0)
     kernel.sys.mkdir(task, "/w")
     counter = [0]
@@ -48,9 +53,10 @@ def test_readdir_wallclock(benchmark):
     benchmark(kernel.sys.listdir, task, "/big")
 
 
-def test_rename_invalidation_wallclock(benchmark):
+@pytest.mark.parametrize("profile", ["optimized", "optimized-lazy"])
+def test_rename_invalidation_wallclock(benchmark, profile):
     """Mutation side: rename a warm directory, then re-stat under it."""
-    kernel = make_kernel("optimized")
+    kernel = make_kernel(profile)
     task = kernel.spawn_task(uid=0, gid=0)
     kernel.sys.mkdir(task, "/r")
     kernel.sys.mkdir(task, "/r/d0")
@@ -67,3 +73,26 @@ def test_rename_invalidation_wallclock(benchmark):
         kernel.sys.stat(task, dst + "/sub/f")
 
     benchmark(rename_and_stat)
+
+
+@pytest.mark.parametrize("profile", ["optimized", "optimized-lazy"])
+def test_rename_churn_wallclock(benchmark, profile):
+    """Mutation-heavy churn: rename a warm 50-file dir, re-stat a few."""
+    kernel = make_kernel(profile)
+    task = kernel.spawn_task(uid=0, gid=0)
+    kernel.sys.mkdir(task, "/c")
+    kernel.sys.mkdir(task, "/c/d0")
+    for i in range(50):
+        fd = kernel.sys.open(task, f"/c/d0/f{i}", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        kernel.sys.stat(task, f"/c/d0/f{i}")
+    flip = [0]
+
+    def churn():
+        src, dst = ("/c/d0", "/c/d1") if flip[0] == 0 else ("/c/d1", "/c/d0")
+        flip[0] ^= 1
+        kernel.sys.rename(task, src, dst)
+        for i in range(0, 50, 10):
+            kernel.sys.stat(task, f"{dst}/f{i}")
+
+    benchmark(churn)

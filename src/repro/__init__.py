@@ -21,8 +21,8 @@ See ``examples/quickstart.py`` for a complete tour and ``DESIGN.md`` for
 the system inventory.
 """
 
-from repro.core.kernel import (BASELINE, OPTIMIZED, DcacheConfig, Kernel,
-                               make_kernel)
+from repro.core.kernel import (BASELINE, OPTIMIZED, OPTIMIZED_LAZY,
+                               DcacheConfig, Kernel, make_kernel)
 from repro.errors import FsError
 from repro.vfs.file import (O_APPEND, O_CREAT, O_DIRECTORY, O_EXCL,
                             O_NOFOLLOW, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY)
@@ -36,6 +36,7 @@ __all__ = [
     "DcacheConfig",
     "BASELINE",
     "OPTIMIZED",
+    "OPTIMIZED_LAZY",
     "FsError",
     "O_RDONLY",
     "O_WRONLY",

@@ -11,10 +11,11 @@ only these wall-clock numbers move.
 Two modes:
 
 ``repro-speed [--output BENCH_simspeed.json]``
-    Run the benchmark loops (warm stat, create/unlink, readdir, and
-    rename-invalidation on both kernel profiles) and write median
-    microseconds-per-operation to a JSON file.  The committed
-    ``BENCH_simspeed.json`` at the repo root is generated this way.
+    Run the benchmark loops (warm stat, create/unlink, readdir,
+    rename-invalidation, and rename-churn on all three kernel profiles)
+    and write median microseconds-per-operation to a JSON file.  The
+    committed ``BENCH_simspeed.json`` at the repo root is generated this
+    way.
 
 ``repro-speed --check pytest-benchmark.json [--baseline ...]``
     Compare a pytest-benchmark JSON export (from
@@ -37,7 +38,7 @@ from repro.workloads import lmbench
 from repro.workloads.tree import build_flat_dir
 
 #: Kernel profiles every benchmark runs against.
-PROFILES = ("baseline", "optimized")
+PROFILES = ("baseline", "optimized", "optimized-lazy")
 
 #: pytest-benchmark test name -> result key in BENCH_simspeed.json.
 #: Used by ``--check`` to line CI benchmark runs up with the committed
@@ -45,9 +46,18 @@ PROFILES = ("baseline", "optimized")
 PYTEST_NAME_MAP = {
     "test_warm_stat_wallclock[baseline]": "warm_stat[baseline]",
     "test_warm_stat_wallclock[optimized]": "warm_stat[optimized]",
-    "test_create_unlink_wallclock": "create_unlink[optimized]",
+    "test_warm_stat_wallclock[optimized-lazy]": "warm_stat[optimized-lazy]",
+    "test_create_unlink_wallclock[optimized]": "create_unlink[optimized]",
+    "test_create_unlink_wallclock[optimized-lazy]":
+        "create_unlink[optimized-lazy]",
     "test_readdir_wallclock": "readdir[optimized]",
-    "test_rename_invalidation_wallclock": "rename_inval[optimized]",
+    "test_rename_invalidation_wallclock[optimized]":
+        "rename_inval[optimized]",
+    "test_rename_invalidation_wallclock[optimized-lazy]":
+        "rename_inval[optimized-lazy]",
+    "test_rename_churn_wallclock[optimized]": "rename_churn[optimized]",
+    "test_rename_churn_wallclock[optimized-lazy]":
+        "rename_churn[optimized-lazy]",
 }
 
 
@@ -125,11 +135,43 @@ def _setup_rename_inval(profile: str) -> Callable[[], None]:
     return op
 
 
+def _setup_rename_churn(profile: str) -> Callable[[], None]:
+    """Mutation-heavy churn over a warm ~50-file cached subtree.
+
+    Each op renames a directory holding 50 warm files and re-stats a
+    handful of them.  Eager coherence pays a full subtree shootdown per
+    rename; lazy coherence pays one epoch stamp plus touch-time
+    revalidation of only the files actually re-statted — the workload
+    the ``optimized-lazy`` profile exists for.
+    """
+    kernel = make_kernel(profile)
+    task = kernel.spawn_task(uid=0, gid=0)
+    kernel.sys.mkdir(task, "/c")
+    kernel.sys.mkdir(task, "/c/d0")
+    stat = kernel.sys.stat
+    rename = kernel.sys.rename
+    for i in range(50):
+        fd = kernel.sys.open(task, f"/c/d0/f{i}", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        stat(task, f"/c/d0/f{i}")
+    flip = [0]
+
+    def op() -> None:
+        src, dst = ("/c/d0", "/c/d1") if flip[0] == 0 else ("/c/d1", "/c/d0")
+        flip[0] ^= 1
+        rename(task, src, dst)
+        for i in range(0, 50, 10):
+            stat(task, f"{dst}/f{i}")
+
+    return op
+
+
 BENCHMARKS: List[Tuple[str, Callable[[str], Callable[[], None]], int]] = [
     ("warm_stat", _setup_warm_stat, 10_000),
     ("create_unlink", _setup_create_unlink, 1_000),
     ("readdir", _setup_readdir, 100),
     ("rename_inval", _setup_rename_inval, 1_000),
+    ("rename_churn", _setup_rename_churn, 500),
 ]
 
 

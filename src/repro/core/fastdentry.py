@@ -29,7 +29,7 @@ class FastDentry:
     """Optimized-kernel state attached to a dentry."""
 
     __slots__ = ("hash_state", "signature", "dlht", "dlht_key", "mount",
-                 "link_target_state")
+                 "link_target_state", "epoch_snapshot", "extra_keys")
 
     def __init__(self) -> None:
         #: Resumable hash state of the canonical path, or None when stale.
@@ -47,6 +47,18 @@ class FastDentry:
         #: target ("symbolic link dentries store the signatures that
         #: represent the target path", §4.2).
         self.link_target_state: Optional[SigState] = None
+        #: Lazy coherence: the global epoch as of which ``hash_state``
+        #: (and the primary registration) was last known current.  A
+        #: fastpath hit whose chain carries a higher per-dentry epoch
+        #: stamp must revalidate before it may be served (always 0 in
+        #: eager mode, where shootdowns clear the state instead).
+        self.epoch_snapshot = 0
+        #: Lazy coherence: additional DLHT keys (old-path signatures)
+        #: this dentry is still registered under.  Lazy mutations do not
+        #: evict, so after a rename the dentry answers probes for both
+        #: its old and new path until validation settles ownership.
+        #: None in eager mode (a dentry has exactly one registration).
+        self.extra_keys: Optional[list] = None
 
     def invalidate(self) -> None:
         """Drop path-derived state (signature stays until DLHT removal)."""

@@ -7,6 +7,9 @@ profiles —
   walk, primary hash table, plain negative dentries);
 * ``optimized``: the paper's full design (fastpath DLHT + PCC +
   signatures, directory completeness, aggressive/deep negatives);
+* ``optimized-lazy``: the full design with epoch-based lazy
+  invalidation instead of eager recursive shootdowns (O(1) mutations,
+  touch-time revalidation — see docs/coherence.md);
 
 — or any à-la-carte combination via :class:`DcacheConfig`, which is how
 the ablation benchmarks isolate each mechanism's contribution.
@@ -14,6 +17,7 @@ the ablation benchmarks isolate each mechanism's contribution.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -48,6 +52,10 @@ class DcacheConfig:
         deep_negative: deep negative / ENOTDIR dentries (§5.2).
         lexical_dotdot: Plan 9 lexical ``..`` semantics (§4.2); default
             is Linux semantics (extra fastpath lookup per dot-dot).
+        lazy_invalidation: epoch-based lazy coherence: mutations stamp
+            the mutated dentry in O(1) and fastpath hits revalidate
+            against the ancestor-epoch summary on touch, instead of the
+            eager recursive shootdown (see docs/coherence.md).
         force_fastpath_miss: always fall from fastpath to slowpath after
             doing the fastpath work (Figure 6's worst case).
         pcc_capacity: PCC entries per credential (paper: 64 KB / 16 B).
@@ -62,6 +70,7 @@ class DcacheConfig:
     aggressive_negative: bool = False
     deep_negative: bool = False
     lexical_dotdot: bool = False
+    lazy_invalidation: bool = False
     force_fastpath_miss: bool = False
     pcc_capacity: int = DEFAULT_CAPACITY
     pcc_adaptive: bool = False
@@ -83,6 +92,11 @@ BASELINE = DcacheConfig(name="baseline")
 OPTIMIZED = DcacheConfig(name="optimized", fastpath=True, dir_complete=True,
                          aggressive_negative=True, deep_negative=True)
 
+#: The optimized design with epoch-based lazy invalidation: O(1)
+#: mutations, touch-time revalidation of fastpath hits.
+OPTIMIZED_LAZY = OPTIMIZED.variant(name="optimized-lazy",
+                                   lazy_invalidation=True)
+
 
 class Kernel:
     """One simulated kernel instance: caches, resolver, syscalls, time."""
@@ -96,7 +110,9 @@ class Kernel:
         self.stats = Stats()
         self.lsm = lsm or NullLsm()
         self.root_fs = root_fs or SimExtFs(self.costs)
-        self.coherence = Coherence(self.costs, self.stats)
+        self.coherence = Coherence(
+            self.costs, self.stats,
+            lazy=config.fastpath and config.lazy_invalidation)
         hooks = FastDcacheHooks(self.coherence) if config.fastpath else None
         self.dcache = Dcache(self.costs, self.stats,
                              capacity=config.dcache_capacity, hooks=hooks)
@@ -120,6 +136,13 @@ class Kernel:
             self._install_dlht(self.root_ns)
             self._boot_fast_root()
         self.resolver = self.fast if self.fast is not None else self.slow_walk
+        self.sweeper = None
+        if config.fastpath and config.lazy_invalidation:
+            from repro.core.coherence import LazySweeper
+            from repro.sim.clock import Ticker
+            self.sweeper = LazySweeper(
+                self.coherence, self.fast,
+                Ticker(self.costs.clock, LazySweeper.INTERVAL_NS))
         self.readdir_engine = ReaddirEngine(self.costs, self.stats,
                                             self.dcache, config)
         # The syscall facade (late import avoids a module cycle).
@@ -129,8 +152,11 @@ class Kernel:
     # -- namespace / fast bootstrap ------------------------------------------
 
     def _install_dlht(self, ns: MountNamespace) -> None:
-        ns.dlht = DirectLookupHashTable(self.costs, self.stats)
-        self.coherence.dlhts.append(ns.dlht)
+        ns.dlht = DirectLookupHashTable(
+            self.costs, self.stats,
+            multi_key=self.config.lazy_invalidation)
+        ns.dlht.owner_ns = weakref.ref(ns)
+        self.coherence.track_dlht(ns.dlht)
 
     def _boot_fast_root(self) -> None:
         from repro.core.fastdentry import fast_of
@@ -226,6 +252,8 @@ def make_kernel(profile: str = "optimized",
             config = BASELINE
         elif profile == "optimized":
             config = OPTIMIZED
+        elif profile == "optimized-lazy":
+            config = OPTIMIZED_LAZY
         else:
             raise ValueError(f"unknown profile {profile!r}")
     if overrides:

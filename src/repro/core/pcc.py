@@ -31,7 +31,7 @@ DEFAULT_CAPACITY = 64 * 1024 // 16
 class PrefixCheckCache:
     """One credential's memoized prefix checks."""
 
-    __slots__ = ("costs", "stats", "capacity", "_entries")
+    __slots__ = ("costs", "stats", "capacity", "_entries", "__weakref__")
 
     def __init__(self, costs: CostModel, stats: Stats,
                  capacity: int = DEFAULT_CAPACITY):
@@ -40,14 +40,22 @@ class PrefixCheckCache:
         self.capacity = capacity
         self._entries: "OrderedDict[int, tuple]" = OrderedDict()
 
-    def probe(self, dentry: Dentry) -> bool:
-        """True when a valid (seq-current) prefix check is cached."""
+    def probe(self, dentry: Dentry, min_epoch: int = 0) -> bool:
+        """True when a valid (seq-current) prefix check is cached.
+
+        ``min_epoch`` is the lazy kernel's validity floor: the entry must
+        have been inserted at or after the highest epoch stamp on the
+        dentry's ancestor chain.  An epoch-stale entry is *kept* — the
+        caller may pass a conservative floor, and a later revalidation
+        with real permission checks will overwrite it (eager mode always
+        passes 0, so epoch never disqualifies there).
+        """
         self.costs.charge("pcc_probe")
         entry = self._entries.get(id(dentry))
         if entry is None:
             self.stats.bump("pcc_miss")
             return False
-        cached_dentry, cached_seq = entry
+        cached_dentry, cached_seq, cached_epoch = entry
         if cached_dentry is not dentry or dentry.dead:
             self.stats.bump("pcc_stale")
             del self._entries[id(dentry)]
@@ -56,14 +64,17 @@ class PrefixCheckCache:
             self.stats.bump("pcc_stale")
             del self._entries[id(dentry)]
             return False
+        if cached_epoch < min_epoch:
+            self.stats.bump("pcc_epoch_stale")
+            return False
         self._entries.move_to_end(id(dentry))
         self.stats.bump("pcc_hit")
         return True
 
-    def insert(self, dentry: Dentry) -> None:
+    def insert(self, dentry: Dentry, epoch: int = 0) -> None:
         """Memoize that this cred passed the prefix check to ``dentry``."""
         self.costs.charge("pcc_insert")
-        self._entries[id(dentry)] = (dentry, dentry.seq)
+        self._entries[id(dentry)] = (dentry, dentry.seq, epoch)
         self._entries.move_to_end(id(dentry))
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
@@ -96,8 +107,8 @@ class AdaptivePrefixCheckCache(PrefixCheckCache):
         self.max_capacity = max_capacity
         self._misses_since_resize = 0
 
-    def probe(self, dentry: Dentry) -> bool:
-        hit = super().probe(dentry)
+    def probe(self, dentry: Dentry, min_epoch: int = 0) -> bool:
+        hit = super().probe(dentry, min_epoch)
         if not hit:
             self._misses_since_resize += 1
             self._maybe_grow()

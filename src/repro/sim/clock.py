@@ -34,6 +34,37 @@ class Clock:
         return self._now_ns - start_ns
 
 
+class Ticker:
+    """Virtual-time deadline poller for amortized background work.
+
+    The simulator has no preemption: virtual time only moves when code
+    charges costs.  Periodic work (such as the lazy-coherence sweep) is
+    therefore *polled* — callers ask :meth:`due` at convenient points
+    (e.g. syscall entry) and run one batch when the interval elapsed.
+    """
+
+    __slots__ = ("clock", "interval_ns", "_next_ns")
+
+    def __init__(self, clock: Clock, interval_ns: float):
+        if interval_ns <= 0:
+            raise ValueError(f"ticker interval must be > 0 ({interval_ns})")
+        self.clock = clock
+        self.interval_ns = interval_ns
+        self._next_ns = clock.now_ns + interval_ns
+
+    def due(self) -> bool:
+        """True when at least one interval elapsed since the last fire."""
+        return self.clock._now_ns >= self._next_ns
+
+    def fire(self) -> None:
+        """Consume the deadline: schedule the next fire one interval out.
+
+        Re-arms relative to *now* (not the missed deadline) so a long
+        quiet period does not cause a burst of catch-up fires.
+        """
+        self._next_ns = self.clock._now_ns + self.interval_ns
+
+
 class Stopwatch:
     """Context manager measuring virtual time spent inside a block."""
 

@@ -70,6 +70,17 @@ CALIBRATED: Dict[str, float] = {
     # --- mutation-side invalidation (the paper's deliberate trade-off) ---
     "inval_per_dentry": 32.0,      # recursive seq bump + DLHT eviction
     "inval_counter_bump": 20.0,    # global invalidation counter
+    # --- lazy (epoch-based) invalidation: optimized-lazy profile only ---
+    # One atomic increment of the global epoch plus one stamp store on
+    # the mutated dentry: two cache lines, no tree walk.  Priced like
+    # the eager counter bump plus one dirtied line.
+    "epoch_bump": 28.0,
+    # Touch-time revalidation, charged once per chain node examined: a
+    # parent-pointer load plus an epoch compare (one likely-shared cache
+    # line per hop, cheaper than a hashed dcache probe).  The O(1)
+    # accept — one predicted-branch integer compare against the global
+    # epoch, on a cache line the probe already loaded — is not charged.
+    "lazy_validate": 12.0,
     "rename_fixed": 2500.0,        # rename_lock + dentry moves (baseline)
     "chmod_fixed": 300.0,          # setattr dcache work (baseline)
     # --- dcache maintenance ----------------------------------------------

@@ -20,6 +20,10 @@ DLHT_BUCKETS = 1 << 16
 PRIMARY_BUCKETS = 262_144       # Linux's default (§6.5)
 PRIMARY_BUCKET_BYTES = 8
 INODE_BYTES = 592               # struct inode, for context
+#: Lazy coherence only: a non-primary (old-path) DLHT registration needs
+#: its own chain node — hlist link (16) + stored signature (32 for 240
+#: bits, rounded) + dentry back pointer (8).
+DLHT_EXTRA_KEY_BYTES = 56
 
 
 @dataclass(frozen=True)
@@ -34,6 +38,9 @@ class MemoryReport:
     dlht_count: int
     dlht_table_bytes: int
     primary_table_bytes: int
+    #: Non-primary registrations (lazy multi-key mode); zero for eager.
+    dlht_extra_keys: int = 0
+    dlht_extra_key_bytes: int = 0
 
     @property
     def baseline_equivalent_bytes(self) -> int:
@@ -45,7 +52,7 @@ class MemoryReport:
     def total_bytes(self) -> int:
         return (self.dentry_bytes + self.fast_dentry_bytes
                 + self.pcc_bytes + self.dlht_table_bytes
-                + self.primary_table_bytes)
+                + self.dlht_extra_key_bytes + self.primary_table_bytes)
 
     @property
     def overhead_fraction(self) -> float:
@@ -75,6 +82,7 @@ def measure_kernel(kernel) -> MemoryReport:
     pccs = kernel.coherence.pccs
     pcc_bytes = sum(pcc.capacity * PCC_ENTRY_BYTES for pcc in pccs)
     dlhts = kernel.coherence.dlhts
+    extra_keys = sum(dlht.extra_key_count for dlht in dlhts)
     return MemoryReport(
         dentries=dentries,
         dentry_bytes=dentries * BASE_DENTRY_BYTES,
@@ -84,4 +92,6 @@ def measure_kernel(kernel) -> MemoryReport:
         dlht_count=len(dlhts),
         dlht_table_bytes=len(dlhts) * DLHT_BUCKETS * DLHT_BUCKET_BYTES,
         primary_table_bytes=PRIMARY_BUCKETS * PRIMARY_BUCKET_BYTES,
+        dlht_extra_keys=extra_keys,
+        dlht_extra_key_bytes=extra_keys * DLHT_EXTRA_KEY_BYTES,
     )

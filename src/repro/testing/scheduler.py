@@ -64,6 +64,11 @@ class _YieldingHooks(WalkHooks):
         self._pause()
         self.inner.finish(ctx, final)
 
+    def abandon(self, ctx):
+        # No pause: the walk is already dead, and the inner hook must
+        # still balance its in-flight accounting (walks_active).
+        self.inner.abandon(ctx)
+
 
 class _Worker:
     __slots__ = ("thread", "go", "parked", "finished", "outcome")

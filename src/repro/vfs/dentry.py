@@ -29,8 +29,8 @@ class Dentry:
 
     __slots__ = (
         "name", "parent", "inode", "neg_kind", "stub", "children",
-        "pin_count", "dir_complete", "child_evictions", "seq", "fast",
-        "alias_target", "is_mountpoint", "in_lru", "dead",
+        "pin_count", "dir_complete", "child_evictions", "seq", "epoch",
+        "fast", "alias_target", "is_mountpoint", "in_lru", "dead",
     )
 
     def __init__(self, name: str, parent: Optional["Dentry"],
@@ -53,6 +53,10 @@ class Dentry:
         #: Version counter read by PCC entries; bumped by coherence events
         #: and by reallocation so stale prefix checks never validate.
         self.seq = 0
+        #: Lazy-coherence mutation stamp: the global epoch at which this
+        #: dentry was last the root of a (lazy) shootdown.  Always 0 in
+        #: the baseline and eager-optimized kernels.
+        self.epoch = 0
         #: Optimized-kernel per-dentry state (repro.core.fastdentry).
         self.fast = None
         #: For alias dentries: the real dentry this path translates to.

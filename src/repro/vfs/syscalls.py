@@ -67,6 +67,11 @@ class Syscalls:
 
     def _enter(self) -> None:
         self.costs.charge("syscall_fixed")
+        sweeper = self.kernel.sweeper
+        if sweeper is not None:
+            # Lazy coherence: amortized sweep batches piggyback on
+            # syscall entry (virtual time has no preemption).
+            sweeper.poll()
 
     def _resolve(self, task: Task, path: str, **kw) -> PathPos:
         return self.kernel.resolver.resolve(task, path, **kw)

@@ -67,6 +67,12 @@ class WalkHooks:
         """The walk succeeded at ``final`` (dentry may be a create-intent
         negative)."""
 
+    def abandon(self, ctx) -> None:
+        """The walk raised without reaching :meth:`finish` (errors that
+        bypass ``negative_tail``: EACCES, ELOOP, ENOTDIR mid-path...).
+        Implementations release per-walk bookkeeping; nothing may be
+        charged or populated here."""
+
 
 class _LinkBudget:
     """Shared symlink-traversal counter for one top-level resolution."""
@@ -125,11 +131,15 @@ class SlowWalk:
                 self.costs.charge("lookup_init")
         ctx = self.hooks.begin(task, start, absolute)
         budget = _LinkBudget()
-        pos = self._walk(task, start, comps, path,
-                         follow_last=follow_last,
-                         intent_create=intent_create,
-                         create_dir=create_dir,
-                         must_dir=must_dir, budget=budget, ctx=ctx)
+        try:
+            pos = self._walk(task, start, comps, path,
+                             follow_last=follow_last,
+                             intent_create=intent_create,
+                             create_dir=create_dir,
+                             must_dir=must_dir, budget=budget, ctx=ctx)
+        except BaseException:
+            self.hooks.abandon(ctx)
+            raise
         if charge_setup:
             with self.costs.scope("final"):
                 self.costs.charge("lookup_final")

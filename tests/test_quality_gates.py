@@ -84,6 +84,13 @@ def _exercise_everything():
     prf_task = prf.spawn_task(uid=0, gid=0)
     prf.sys.mkdir(prf_task, "/p")
     prf.sys.stat(prf_task, "/p")
+    # A lazy kernel covers the epoch-coherence primitives.
+    lazy = make_kernel("optimized-lazy", costs=kernel.costs)
+    lazy_task = lazy.spawn_task(uid=0, gid=0)
+    lazy.sys.mkdir(lazy_task, "/lz")
+    lazy.sys.stat(lazy_task, "/lz")
+    lazy.sys.chmod(lazy_task, "/lz", 0o700)
+    lazy.sys.stat(lazy_task, "/lz")
     # A baseline kernel covers the classic walk-only primitives.
     base = make_kernel("baseline", costs=kernel.costs)
     base_task = base.spawn_task(uid=0, gid=0)
