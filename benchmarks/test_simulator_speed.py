@@ -1,10 +1,11 @@
 """Raw simulator throughput: wall-clock cost of simulated syscalls.
 
 Not a paper experiment — this measures the *reproduction's* own speed,
-so regressions in the simulator implementation show up in CI.  The
-mutation-side benchmarks run on both coherence designs (eager
-``optimized`` and epoch-based ``optimized-lazy``) so the lazy
-invalidation path is covered by the same regression gate.
+so regressions in the simulator implementation show up in CI.  Every
+benchmark runs on all three kernel profiles (``baseline``, eager
+``optimized``, epoch-based ``optimized-lazy``) so each committed key in
+``BENCH_simspeed.json`` has a pytest result behind it — ``repro-speed
+--check`` fails loudly on any baseline key with no mapped result.
 """
 
 import pytest
@@ -27,7 +28,8 @@ def test_warm_stat_wallclock(benchmark, warm_kernel):
     benchmark(kernel.sys.stat, task, lmbench.LONG_PATH)
 
 
-@pytest.mark.parametrize("profile", ["optimized", "optimized-lazy"])
+@pytest.mark.parametrize("profile",
+                         ["baseline", "optimized", "optimized-lazy"])
 def test_create_unlink_wallclock(benchmark, profile):
     kernel = make_kernel(profile)
     task = kernel.spawn_task(uid=0, gid=0)
@@ -44,16 +46,19 @@ def test_create_unlink_wallclock(benchmark, profile):
     benchmark(create_and_unlink)
 
 
-def test_readdir_wallclock(benchmark):
+@pytest.mark.parametrize("profile",
+                         ["baseline", "optimized", "optimized-lazy"])
+def test_readdir_wallclock(benchmark, profile):
     from repro.workloads.tree import build_flat_dir
-    kernel = make_kernel("optimized")
+    kernel = make_kernel(profile)
     task = kernel.spawn_task(uid=0, gid=0)
     build_flat_dir(kernel, task, "/big", 500)
     kernel.sys.listdir(task, "/big")
     benchmark(kernel.sys.listdir, task, "/big")
 
 
-@pytest.mark.parametrize("profile", ["optimized", "optimized-lazy"])
+@pytest.mark.parametrize("profile",
+                         ["baseline", "optimized", "optimized-lazy"])
 def test_rename_invalidation_wallclock(benchmark, profile):
     """Mutation side: rename a warm directory, then re-stat under it."""
     kernel = make_kernel(profile)
@@ -75,7 +80,8 @@ def test_rename_invalidation_wallclock(benchmark, profile):
     benchmark(rename_and_stat)
 
 
-@pytest.mark.parametrize("profile", ["optimized", "optimized-lazy"])
+@pytest.mark.parametrize("profile",
+                         ["baseline", "optimized", "optimized-lazy"])
 def test_rename_churn_wallclock(benchmark, profile):
     """Mutation-heavy churn: rename a warm 50-file dir, re-stat a few."""
     kernel = make_kernel(profile)

@@ -10,6 +10,7 @@ against both the paper's numbers and the Poisson model.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections import Counter
 from typing import Dict
@@ -22,6 +23,21 @@ from repro.workloads.tree import TreeSpec, populate
 PAPER_OCCUPANCY = {0: 0.58, 1: 0.34, 2: 0.07, "3-10": 0.01}
 
 
+def _bucket_hash(dentry) -> int:
+    """Uniform, run-stable stand-in for Linux's (parent, name) hash.
+
+    ``hash((id(parent), name))`` depends on object addresses and the
+    per-process string-hash salt, which made this experiment the one
+    run-to-run nondeterminism in EXPERIMENTS.md — unacceptable now that
+    the parallel engine asserts serial and parallel output are
+    byte-identical.  Hashing the canonical path keeps the distribution
+    uniform (what the Poisson comparison needs) and deterministic.
+    """
+    digest = hashlib.blake2b(dentry.path_from_root().encode("utf-8"),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
 def bucket_occupancy(kernel, buckets: int) -> Dict[object, float]:
     """Fraction of buckets holding 0 / 1 / 2 / 3-10 dentries."""
     counts: Counter = Counter()
@@ -29,8 +45,7 @@ def bucket_occupancy(kernel, buckets: int) -> Dict[object, float]:
         for dentry in root.descendants():
             if dentry.parent is None:
                 continue
-            key = hash((id(dentry.parent), dentry.name))
-            counts[key % buckets] += 1
+            counts[_bucket_hash(dentry) % buckets] += 1
     occupied: Counter = Counter(counts.values())
     total_entries = sum(counts.values())
     empty = buckets - len(counts)

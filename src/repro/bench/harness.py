@@ -31,6 +31,14 @@ class Report:
     rows: List[Sequence[Any]] = field(default_factory=list)
     checks: List[Check] = field(default_factory=list)
     notes: str = ""
+    #: Harness attribution, filled in by the benchmark engine after the
+    #: run: wall-clock seconds this experiment took on the host, and the
+    #: worker process that ran it.  Not rendered by :meth:`to_markdown`
+    #: (wall-clock varies run to run and the default report must stay
+    #: byte-deterministic); the engine renders them via its ``--timing``
+    #: appendix and the stderr timing table instead.
+    wall_clock_s: float = 0.0
+    worker: str = ""
 
     def add_row(self, *values: Any) -> None:
         self.rows.append(values)
@@ -54,6 +62,10 @@ class Report:
             lines.append(f"  [{mark}] {check.claim}{detail}")
         if self.notes:
             lines.append(f"  note: {self.notes}")
+        if self.wall_clock_s:
+            worker = f" on {self.worker}" if self.worker else ""
+            lines.append(f"  harness: {self.wall_clock_s:.2f}s "
+                         f"wall-clock{worker}")
         return "\n".join(lines)
 
     def to_markdown(self) -> str:

@@ -8,20 +8,37 @@ path) are meant to improve.  Virtual-time results are bit-identical
 before and after those optimizations (see ``tests/test_golden_counters``);
 only these wall-clock numbers move.
 
-Two modes:
+Each benchmark builds and warms its kernel **once** per (benchmark,
+profile) cell, captures a :class:`~repro.sim.snapshot.KernelSnapshot`,
+and restores it before every repetition — so repetitions start from an
+identical warm state without paying tree rebuilding, and the timed loop
+measures only the hot path.  The (benchmark × profile) matrix fans out
+across a process pool (``--jobs``) with order-preserving result merging,
+so the emitted JSON key order and — in ``--virtual`` mode — the values
+are identical to a serial run.
 
-``repro-speed [--output BENCH_simspeed.json]``
+Modes:
+
+``repro-speed [--output BENCH_simspeed.json] [--jobs N]``
     Run the benchmark loops (warm stat, create/unlink, readdir,
     rename-invalidation, and rename-churn on all three kernel profiles)
     and write median microseconds-per-operation to a JSON file.  The
     committed ``BENCH_simspeed.json`` at the repo root is generated this
     way.
 
+``repro-speed --virtual [--jobs N]``
+    Record *virtual* nanoseconds per op instead of wall-clock
+    microseconds.  Virtual time is deterministic, so two runs — serial,
+    parallel, different hosts — produce byte-identical JSON; CI uses
+    this to prove the parallel engine does not change results.
+
 ``repro-speed --check pytest-benchmark.json [--baseline ...]``
     Compare a pytest-benchmark JSON export (from
     ``pytest benchmarks/test_simulator_speed.py --benchmark-json=...``)
     against the committed baseline and exit non-zero if any benchmark's
-    median regressed by more than ``--threshold`` (default 25%).
+    median regressed by more than ``--threshold`` (default 25%), or if
+    any baseline key has no mapped pytest result (a silently skipped
+    gate is a broken gate).
 """
 
 from __future__ import annotations
@@ -34,6 +51,8 @@ import time
 from typing import Callable, Dict, List, Tuple
 
 from repro import O_CREAT, O_RDWR, make_kernel
+from repro.bench import parallel
+from repro.sim.snapshot import KernelSnapshot
 from repro.workloads import lmbench
 from repro.workloads.tree import build_flat_dir
 
@@ -42,19 +61,25 @@ PROFILES = ("baseline", "optimized", "optimized-lazy")
 
 #: pytest-benchmark test name -> result key in BENCH_simspeed.json.
 #: Used by ``--check`` to line CI benchmark runs up with the committed
-#: baseline numbers.
+#: baseline numbers.  Every key in the baseline file must be covered
+#: here (and produced by the export) or --check fails loudly.
 PYTEST_NAME_MAP = {
     "test_warm_stat_wallclock[baseline]": "warm_stat[baseline]",
     "test_warm_stat_wallclock[optimized]": "warm_stat[optimized]",
     "test_warm_stat_wallclock[optimized-lazy]": "warm_stat[optimized-lazy]",
+    "test_create_unlink_wallclock[baseline]": "create_unlink[baseline]",
     "test_create_unlink_wallclock[optimized]": "create_unlink[optimized]",
     "test_create_unlink_wallclock[optimized-lazy]":
         "create_unlink[optimized-lazy]",
-    "test_readdir_wallclock": "readdir[optimized]",
+    "test_readdir_wallclock[baseline]": "readdir[baseline]",
+    "test_readdir_wallclock[optimized]": "readdir[optimized]",
+    "test_readdir_wallclock[optimized-lazy]": "readdir[optimized-lazy]",
+    "test_rename_invalidation_wallclock[baseline]": "rename_inval[baseline]",
     "test_rename_invalidation_wallclock[optimized]":
         "rename_inval[optimized]",
     "test_rename_invalidation_wallclock[optimized-lazy]":
         "rename_inval[optimized-lazy]",
+    "test_rename_churn_wallclock[baseline]": "rename_churn[baseline]",
     "test_rename_churn_wallclock[optimized]": "rename_churn[optimized]",
     "test_rename_churn_wallclock[optimized-lazy]":
         "rename_churn[optimized-lazy]",
@@ -62,52 +87,73 @@ PYTEST_NAME_MAP = {
 
 
 # -- benchmark setup ------------------------------------------------------
+#
+# Each setup builds and warms a kernel and returns (kernel, task, bind),
+# where ``bind(kernel, task)`` constructs the per-repetition op closure.
+# The engine snapshots (kernel, task) once and re-binds against each
+# restored copy, so per-op state (counters, flip flags) resets per rep
+# exactly as a fresh setup would.
 
-def _setup_warm_stat(profile: str) -> Callable[[], None]:
+SetupResult = Tuple[object, object, Callable]
+
+
+def _setup_warm_stat(profile: str) -> SetupResult:
     kernel = make_kernel(profile)
     task = lmbench.prepare_lookup_tree(kernel)
-    stat = kernel.sys.stat
-    path = lmbench.LONG_PATH
-    stat(task, path)  # warm the caches; steady-state is what we measure
+    kernel.sys.stat(task, lmbench.LONG_PATH)  # steady state is the target
 
-    def op() -> None:
-        stat(task, path)
+    def bind(kernel, task) -> Callable[[], None]:
+        stat = kernel.sys.stat
+        path = lmbench.LONG_PATH
 
-    return op
+        def op() -> None:
+            stat(task, path)
+
+        return op
+
+    return kernel, task, bind
 
 
-def _setup_create_unlink(profile: str) -> Callable[[], None]:
+def _setup_create_unlink(profile: str) -> SetupResult:
     kernel = make_kernel(profile)
     task = kernel.spawn_task(uid=0, gid=0)
     kernel.sys.mkdir(task, "/w")
-    sys_open, sys_close = kernel.sys.open, kernel.sys.close
-    sys_unlink = kernel.sys.unlink
-    counter = [0]
 
-    def op() -> None:
-        path = f"/w/f{counter[0]}"
-        counter[0] += 1
-        fd = sys_open(task, path, O_CREAT | O_RDWR)
-        sys_close(task, fd)
-        sys_unlink(task, path)
+    def bind(kernel, task) -> Callable[[], None]:
+        sys_open, sys_close = kernel.sys.open, kernel.sys.close
+        sys_unlink = kernel.sys.unlink
+        counter = [0]
 
-    return op
+        def op() -> None:
+            path = f"/w/f{counter[0]}"
+            counter[0] += 1
+            fd = sys_open(task, path, O_CREAT | O_RDWR)
+            sys_close(task, fd)
+            sys_unlink(task, path)
+
+        return op
+
+    return kernel, task, bind
 
 
-def _setup_readdir(profile: str) -> Callable[[], None]:
+def _setup_readdir(profile: str) -> SetupResult:
     kernel = make_kernel(profile)
     task = kernel.spawn_task(uid=0, gid=0)
     build_flat_dir(kernel, task, "/big", 500)
-    listdir = kernel.sys.listdir
-    listdir(task, "/big")
+    kernel.sys.listdir(task, "/big")
 
-    def op() -> None:
-        listdir(task, "/big")
+    def bind(kernel, task) -> Callable[[], None]:
+        listdir = kernel.sys.listdir
 
-    return op
+        def op() -> None:
+            listdir(task, "/big")
+
+        return op
+
+    return kernel, task, bind
 
 
-def _setup_rename_inval(profile: str) -> Callable[[], None]:
+def _setup_rename_inval(profile: str) -> SetupResult:
     """Rename a warm directory back and forth, re-statting under it.
 
     Each op pays the mutation-side invalidation cost (seq bumps, DLHT
@@ -123,19 +169,24 @@ def _setup_rename_inval(profile: str) -> Callable[[], None]:
     fd = kernel.sys.open(task, "/r/d0/sub/f", O_CREAT | O_RDWR)
     kernel.sys.close(task, fd)
     kernel.sys.stat(task, "/r/d0/sub/f")
-    rename, stat = kernel.sys.rename, kernel.sys.stat
-    flip = [0]
 
-    def op() -> None:
-        src, dst = ("/r/d0", "/r/d1") if flip[0] == 0 else ("/r/d1", "/r/d0")
-        flip[0] ^= 1
-        rename(task, src, dst)
-        stat(task, dst + "/sub/f")
+    def bind(kernel, task) -> Callable[[], None]:
+        rename, stat = kernel.sys.rename, kernel.sys.stat
+        flip = [0]
 
-    return op
+        def op() -> None:
+            src, dst = ("/r/d0", "/r/d1") if flip[0] == 0 \
+                else ("/r/d1", "/r/d0")
+            flip[0] ^= 1
+            rename(task, src, dst)
+            stat(task, dst + "/sub/f")
+
+        return op
+
+    return kernel, task, bind
 
 
-def _setup_rename_churn(profile: str) -> Callable[[], None]:
+def _setup_rename_churn(profile: str) -> SetupResult:
     """Mutation-heavy churn over a warm ~50-file cached subtree.
 
     Each op renames a directory holding 50 warm files and re-stats a
@@ -148,25 +199,29 @@ def _setup_rename_churn(profile: str) -> Callable[[], None]:
     task = kernel.spawn_task(uid=0, gid=0)
     kernel.sys.mkdir(task, "/c")
     kernel.sys.mkdir(task, "/c/d0")
-    stat = kernel.sys.stat
-    rename = kernel.sys.rename
     for i in range(50):
         fd = kernel.sys.open(task, f"/c/d0/f{i}", O_CREAT | O_RDWR)
         kernel.sys.close(task, fd)
-        stat(task, f"/c/d0/f{i}")
-    flip = [0]
+        kernel.sys.stat(task, f"/c/d0/f{i}")
 
-    def op() -> None:
-        src, dst = ("/c/d0", "/c/d1") if flip[0] == 0 else ("/c/d1", "/c/d0")
-        flip[0] ^= 1
-        rename(task, src, dst)
-        for i in range(0, 50, 10):
-            stat(task, f"{dst}/f{i}")
+    def bind(kernel, task) -> Callable[[], None]:
+        rename, stat = kernel.sys.rename, kernel.sys.stat
+        flip = [0]
 
-    return op
+        def op() -> None:
+            src, dst = ("/c/d0", "/c/d1") if flip[0] == 0 \
+                else ("/c/d1", "/c/d0")
+            flip[0] ^= 1
+            rename(task, src, dst)
+            for i in range(0, 50, 10):
+                stat(task, f"{dst}/f{i}")
+
+        return op
+
+    return kernel, task, bind
 
 
-BENCHMARKS: List[Tuple[str, Callable[[str], Callable[[], None]], int]] = [
+BENCHMARKS: List[Tuple[str, Callable[[str], SetupResult], int]] = [
     ("warm_stat", _setup_warm_stat, 10_000),
     ("create_unlink", _setup_create_unlink, 1_000),
     ("readdir", _setup_readdir, 100),
@@ -174,15 +229,25 @@ BENCHMARKS: List[Tuple[str, Callable[[str], Callable[[], None]], int]] = [
     ("rename_churn", _setup_rename_churn, 500),
 ]
 
+_BENCH_BY_NAME = {name: (setup, n) for name, setup, n in BENCHMARKS}
+
 
 # -- timing ---------------------------------------------------------------
 
-def _measure(setup: Callable[[str], Callable[[], None]], profile: str,
+def _measure(setup: Callable[[str], SetupResult], profile: str,
              n: int, reps: int) -> float:
-    """Median microseconds per op over ``reps`` fresh-kernel repetitions."""
+    """Median microseconds per op over ``reps`` warm-restored repetitions.
+
+    The kernel is built and warmed once; each repetition restores the
+    warm snapshot (identical state, no rebuild) and times only the op
+    loop.
+    """
+    kernel, task, bind = setup(profile)
+    snap = KernelSnapshot(kernel, task)
     samples = []
     for _ in range(reps):
-        op = setup(profile)
+        rep_kernel, rep_task = snap.restore()
+        op = bind(rep_kernel, rep_task)
         t0 = time.perf_counter()
         for _ in range(n):
             op()
@@ -190,18 +255,54 @@ def _measure(setup: Callable[[str], Callable[[], None]], profile: str,
     return statistics.median(samples)
 
 
-def run_benchmarks(scale: float = 1.0, reps: int = 3,
+def _measure_virtual(setup: Callable[[str], SetupResult], profile: str,
+                     n: int) -> float:
+    """Virtual nanoseconds per op — deterministic, host-independent."""
+    kernel, task, bind = setup(profile)
+    rep_kernel, rep_task = KernelSnapshot(kernel, task).restore()
+    op = bind(rep_kernel, rep_task)
+    start = rep_kernel.costs.now_ns
+    for _ in range(n):
+        op()
+    return (rep_kernel.costs.now_ns - start) / n
+
+
+def measure_cell(bench_name: str, profile: str, iters: int, reps: int,
+                 virtual: bool = False) -> float:
+    """One (benchmark, profile) matrix cell — the parallel work unit."""
+    setup, _default_n = _BENCH_BY_NAME[bench_name]
+    if virtual:
+        return round(_measure_virtual(setup, profile, iters), 3)
+    return round(_measure(setup, profile, iters, reps), 3)
+
+
+def run_benchmarks(scale: float = 1.0, reps: int = 3, jobs: int = 1,
+                   virtual: bool = False,
                    verbose: bool = True) -> Dict[str, float]:
-    """Run every benchmark on every profile; returns key -> µs/op."""
-    results: Dict[str, float] = {}
-    for name, setup, n in BENCHMARKS:
-        iters = max(1, int(n * scale))
-        for profile in PROFILES:
-            key = f"{name}[{profile}]"
-            results[key] = round(_measure(setup, profile, iters, reps), 3)
-            if verbose:
-                print(f"  {key:32s} {results[key]:10.2f} us/op")
-    return results
+    """Run the benchmark × profile matrix; returns key -> value.
+
+    Values are median wall-clock µs/op, or virtual ns/op with
+    ``virtual=True``.  The matrix is fanned out over ``jobs`` worker
+    processes; the result dict is built in matrix order regardless of
+    completion order, so key order (and, in virtual mode, the values)
+    match a serial run exactly.
+    """
+    cells = [(name, profile, max(1, int(n * scale)))
+             for name, _setup, n in BENCHMARKS
+             for profile in PROFILES]
+    tasks: List[parallel.TaskSpec] = [
+        (f"{name}[{profile}]", measure_cell,
+         (name, profile, iters, reps, virtual))
+        for name, profile, iters in cells]
+    results = parallel.run_tasks(tasks, jobs=jobs, progress=False)
+    out: Dict[str, float] = {}
+    unit = "ns/op(virtual)" if virtual else "us/op"
+    for result in results:
+        out[result.name] = result.value
+        if verbose:
+            print(f"  {result.name:32s} {result.value:10.2f} {unit}"
+                  f"   [{result.wall_clock_s:.2f}s on {result.worker}]")
+    return out
 
 
 # -- regression check -----------------------------------------------------
@@ -211,7 +312,10 @@ def check_regressions(pytest_json: str, baseline_json: str,
     """Compare a pytest-benchmark export against the committed baseline.
 
     Returns a process exit code: 0 if every mapped benchmark's median is
-    within ``threshold`` (fractional, e.g. 0.25) of the baseline.
+    within ``threshold`` (fractional, e.g. 0.25) of the baseline AND
+    every baseline key was covered by a mapped export entry.  A baseline
+    key with no matching pytest result means the gate silently stopped
+    gating — that is a failure (exit 2), not a skip.
     """
     with open(pytest_json) as fh:
         bench_data = json.load(fh)
@@ -219,12 +323,12 @@ def check_regressions(pytest_json: str, baseline_json: str,
         baseline = json.load(fh)["results"]
 
     failed = False
-    checked = 0
+    covered = set()
     for bench in bench_data.get("benchmarks", []):
         key = PYTEST_NAME_MAP.get(bench["name"])
         if key is None or key not in baseline:
             continue
-        checked += 1
+        covered.add(key)
         median_us = bench["stats"]["median"] * 1e6
         base_us = baseline[key]
         ratio = median_us / base_us if base_us else float("inf")
@@ -234,15 +338,24 @@ def check_regressions(pytest_json: str, baseline_json: str,
             failed = True
         print(f"  {bench['name']:44s} {median_us:9.2f} us "
               f"(baseline {base_us:9.2f} us, {ratio:5.2f}x) {status}")
-    if checked == 0:
+    if not covered:
         print("error: no benchmarks in the export matched the baseline",
               file=sys.stderr)
+        return 2
+    uncovered = sorted(set(baseline) - covered)
+    if uncovered:
+        print("error: baseline keys with no mapped pytest result "
+              "(unmapped benchmarks are ungated regressions):",
+              file=sys.stderr)
+        for key in uncovered:
+            print(f"  {key}", file=sys.stderr)
         return 2
     if failed:
         print(f"FAIL: at least one median regressed more than "
               f"{threshold:.0%} vs {baseline_json}")
         return 1
-    print(f"OK: {checked} benchmark(s) within {threshold:.0%} of baseline")
+    print(f"OK: {len(covered)} benchmark(s) within {threshold:.0%} of "
+          f"baseline, all {len(baseline)} baseline keys covered")
     return 0
 
 
@@ -261,6 +374,13 @@ def main(argv=None) -> int:
                              "quick smoke run)")
     parser.add_argument("--reps", type=int, default=3,
                         help="repetitions per benchmark; median is kept")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the benchmark matrix "
+                             "(default: 1; 0 means one per CPU)")
+    parser.add_argument("--virtual", action="store_true",
+                        help="record deterministic virtual ns/op instead "
+                             "of wall-clock us/op (byte-identical across "
+                             "runs, hosts, and --jobs values)")
     parser.add_argument("--check", metavar="PYTEST_JSON",
                         help="pytest-benchmark JSON export to check against "
                              "the committed baseline instead of running")
@@ -275,11 +395,17 @@ def main(argv=None) -> int:
     if args.check:
         return check_regressions(args.check, args.baseline, args.threshold)
 
-    print("Simulator speed (median wall-clock us per simulated op):")
-    results = run_benchmarks(scale=args.scale, reps=args.reps)
+    if args.virtual:
+        print("Simulator speed (virtual ns per simulated op — "
+              "deterministic):")
+    else:
+        print("Simulator speed (median wall-clock us per simulated op):")
+    results = run_benchmarks(scale=args.scale, reps=args.reps,
+                             jobs=args.jobs, virtual=args.virtual)
     payload = {
-        "schema": "dcache-repro-simspeed/1",
-        "units": "us_per_op",
+        "schema": ("dcache-repro-simspeed-virtual/1" if args.virtual
+                   else "dcache-repro-simspeed/1"),
+        "units": "virtual_ns_per_op" if args.virtual else "us_per_op",
         "reps": args.reps,
         "scale": args.scale,
         "results": results,

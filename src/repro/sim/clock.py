@@ -33,6 +33,21 @@ class Clock:
         """Nanoseconds elapsed since ``start_ns`` (a prior ``now_ns``)."""
         return self._now_ns - start_ns
 
+    # -- state capture (snapshot support) --------------------------------
+
+    def capture_state(self) -> float:
+        """Opaque state token for :meth:`restore_state`."""
+        return self._now_ns
+
+    def restore_state(self, state: float) -> None:
+        """Restore a previously captured state verbatim.
+
+        Unlike :meth:`advance` this may move the clock backwards — it
+        exists for the snapshot layer, which rewinds a restored kernel
+        to its capture point, not for simulation code.
+        """
+        self._now_ns = state
+
 
 class Ticker:
     """Virtual-time deadline poller for amortized background work.
@@ -63,6 +78,16 @@ class Ticker:
         quiet period does not cause a burst of catch-up fires.
         """
         self._next_ns = self.clock._now_ns + self.interval_ns
+
+    # -- state capture (snapshot support) --------------------------------
+
+    def capture_state(self) -> float:
+        """Opaque state token for :meth:`restore_state`."""
+        return self._next_ns
+
+    def restore_state(self, state: float) -> None:
+        """Restore a previously captured deadline verbatim."""
+        self._next_ns = state
 
 
 class Stopwatch:

@@ -1,0 +1,226 @@
+"""Warm-kernel snapshots: capture a fully warmed kernel, restore per rep.
+
+Benchmark loops want to measure the *hot path* — a warm stat, a rename
+over a warm subtree — not the cost of rebuilding and re-warming the
+kernel's tree before every repetition.  A :class:`KernelSnapshot`
+captures a :class:`~repro.core.kernel.Kernel` (dcache, DLHT, PCC,
+coherence registries, virtual clock and stats) together with any extra
+objects the benchmark holds (typically the warm :class:`~repro.vfs.task.Task`),
+and hands back an independent, fully consistent copy on every
+:meth:`~KernelSnapshot.restore` call.  Mutations made through one
+restored copy never leak into the next.
+
+Fidelity is the whole point: a restored kernel must charge *bit-identical*
+virtual costs to a freshly warmed one (``tests/test_snapshot_fidelity``
+pins this for all three profiles).  Two things make that non-trivial on
+top of a plain ``copy.deepcopy``:
+
+* **Identity-keyed tables.**  The dcache primary hash (``(id(parent),
+  name)`` keys), the LRU, the per-superblock root/inode tables, each
+  credential's PCC (``id(dentry)`` keys), the coherence mount registry,
+  and each namespace's mount table all key on CPython object identity.
+  A deepcopy produces new objects with new ids, so every such table is
+  rebuilt here against the copies, using the deepcopy memo (which maps
+  ``id(original) -> copy``) for keys whose referent is not recoverable
+  from the value alone.
+* **Weak references.**  ``copy.deepcopy`` treats ``weakref.ref`` as
+  atomic, so a copied kernel's coherence registry would keep pointing at
+  the *original* PCCs and DLHTs.  Every weakref site is re-targeted at
+  the corresponding copy (and dropped if its referent was never reached
+  — exactly the state a dead weakref models).
+
+The capture itself is one clone (detaching the snapshot from the live
+kernel), and each restore is another, so a snapshot can be restored any
+number of times.
+"""
+
+from __future__ import annotations
+
+import copy
+import weakref
+from collections import OrderedDict
+from typing import Any, Tuple
+
+
+class SnapshotError(RuntimeError):
+    """A kernel structure could not be remapped consistently."""
+
+
+def _remap_id(memo: dict, old_id: int, what: str) -> int:
+    """New ``id()`` of the copy of the object whose original id was ``old_id``."""
+    obj = memo.get(old_id)
+    if obj is None:
+        raise SnapshotError(
+            f"{what}: id {old_id:#x} has no copied counterpart — the "
+            f"referenced object was not reachable from the snapshot roots")
+    return id(obj)
+
+
+def _remap_weakrefs(refs: list, memo: dict) -> list:
+    """Re-target a list of weakrefs at the copied objects.
+
+    Refs whose referent is dead, or was never reached by the copy, are
+    dropped — in the copied universe nothing else holds them, which is
+    precisely the state a dead weakref represents.
+    """
+    out = []
+    for ref in refs:
+        obj = ref()
+        if obj is None:
+            continue
+        copied = memo.get(id(obj))
+        if copied is not None:
+            out.append(weakref.ref(copied))
+    return out
+
+
+def _fixup_dcache(dcache, memo: dict) -> None:
+    # Primary hash: (id(parent), name) -> dentry.  Every value knows its
+    # current parent and name (d_move keeps them in sync), so the table
+    # is rebuilt from the copied values directly.
+    dcache._hash = {(id(d.parent), d.name): d for d in dcache._hash.values()}
+    # LRU: id(dentry) -> dentry, order-preserving.
+    dcache._lru = OrderedDict((id(d), d) for d in dcache._lru.values())
+    # Superblock tables key on id(fs); the fs objects are reachable from
+    # the mounts, so the memo has their copies.
+    dcache._roots = {_remap_id(memo, fs_id, "dcache root fs"): root
+                     for fs_id, root in dcache._roots.items()}
+    dcache._inode_tables = {
+        _remap_id(memo, fs_id, "dcache inode-table fs"): table
+        for fs_id, table in dcache._inode_tables.items()}
+
+
+def _fixup_coherence(coherence, memo: dict) -> None:
+    coherence._pcc_refs = _remap_weakrefs(coherence._pcc_refs, memo)
+    coherence._dlht_refs = _remap_weakrefs(coherence._dlht_refs, memo)
+    # Mount registry: id(mountpoint dentry) -> [mounted roots].
+    # Mountpoints are pinned dentries inside the copied tree.
+    coherence._mounts_on = {
+        _remap_id(memo, dentry_id, "coherence mountpoint"): roots
+        for dentry_id, roots in coherence._mounts_on.items()}
+
+
+def _fixup_pcc(pcc) -> None:
+    # PCC entries key on id(dentry) and store the dentry in the value.
+    pcc._entries = OrderedDict((id(entry[0]), entry)
+                               for entry in pcc._entries.values())
+
+
+def _fixup_namespace(ns, memo: dict) -> None:
+    # Mount table: (parent mount id, id(mountpoint dentry)) -> Mount.
+    # Mount ids are plain integers (stable across the copy); only the
+    # dentry identity needs remapping.
+    ns._mount_at = {
+        (mount_id, _remap_id(memo, dentry_id, "namespace mountpoint")): m
+        for (mount_id, dentry_id), m in ns._mount_at.items()}
+
+
+def _fixup_dlht(dlht, memo: dict) -> None:
+    # DLHT keys are signature tuples (no identity), but the owner
+    # namespace is held weakly and must point at the copied namespace.
+    ref = dlht.owner_ns
+    if ref is None:
+        return
+    ns = ref()
+    if ns is None:
+        dlht.owner_ns = None
+        return
+    copied = memo.get(id(ns))
+    dlht.owner_ns = weakref.ref(copied) if copied is not None else None
+
+
+def _fixup_sweeper(sweeper, memo: dict) -> None:
+    # In-flight sweep batches hold (weakref to cache, pending keys).
+    # DLHT keys are signature tuples; PCC keys are id(dentry) ints —
+    # remap the ids that survived the copy and keep the rest verbatim
+    # (they already miss in the original, and the rebuilt PCC tables
+    # make them miss in the copy too, so the charged sweep cost — one
+    # ``lazy_validate`` per examined key — is unchanged).
+    def remap_soft(old_id):
+        obj = memo.get(old_id)
+        return id(obj) if obj is not None else old_id
+
+    remapped_dlht = []
+    for old_ref, keys in sweeper._dlht_work:
+        refs = _remap_weakrefs([old_ref], memo)
+        if refs:
+            remapped_dlht.append((refs[0], list(keys)))
+    sweeper._dlht_work = remapped_dlht
+    remapped_pcc = []
+    for old_ref, ids in sweeper._pcc_work:
+        refs = _remap_weakrefs([old_ref], memo)
+        if refs:
+            remapped_pcc.append((refs[0], [remap_soft(i) for i in ids]))
+    sweeper._pcc_work = remapped_pcc
+
+
+def _iter_pccs(kernel):
+    """Every copied PCC: the coherence registry is the canonical index."""
+    seen = set()
+    for ref in kernel.coherence._pcc_refs:
+        pcc = ref()
+        if pcc is not None and id(pcc) not in seen:
+            seen.add(id(pcc))
+            yield pcc
+
+
+def clone_kernel(kernel, *extras: Any) -> Tuple[Any, ...]:
+    """Deep-copy ``kernel`` (plus ``extras``) into a consistent new universe.
+
+    Returns ``(kernel_copy, *extras_copies)``.  Extras share the copy
+    memo, so a :class:`~repro.vfs.task.Task` passed here comes back
+    wired to the copied kernel's mounts, dentries, and credentials.
+    """
+    memo: dict = {}
+    copied_kernel = copy.deepcopy(kernel, memo)
+    copied_extras = tuple(copy.deepcopy(extra, memo) for extra in extras)
+
+    _fixup_dcache(copied_kernel.dcache, memo)
+    _fixup_coherence(copied_kernel.coherence, memo)
+    for pcc in _iter_pccs(copied_kernel):
+        _fixup_pcc(pcc)
+    for ref in copied_kernel.coherence._dlht_refs:
+        dlht = ref()
+        if dlht is not None:
+            _fixup_dlht(dlht, memo)
+    # Namespaces: the root one, plus any reachable through copied tasks.
+    namespaces = [copied_kernel.root_ns]
+    for extra in copied_extras:
+        ns = getattr(extra, "ns", None)
+        if ns is not None and all(ns is not seen for seen in namespaces):
+            namespaces.append(ns)
+    for ns in namespaces:
+        _fixup_namespace(ns, memo)
+    if copied_kernel.sweeper is not None:
+        _fixup_sweeper(copied_kernel.sweeper, memo)
+    return (copied_kernel,) + copied_extras
+
+
+class KernelSnapshot:
+    """A frozen, restorable image of a warm kernel (plus extras).
+
+    Usage::
+
+        snap = KernelSnapshot(kernel, task)     # capture once
+        for _ in range(reps):
+            k, t = snap.restore()               # fresh copy per rep
+            ...                                 # mutate freely
+
+    The constructor clones the live kernel, so later mutations of the
+    original do not leak into the snapshot; each :meth:`restore` clones
+    the frozen image, so restored copies are independent of each other.
+    """
+
+    __slots__ = ("_frozen",)
+
+    def __init__(self, kernel, *extras: Any):
+        self._frozen = clone_kernel(kernel, *extras)
+
+    def restore(self) -> Tuple[Any, ...]:
+        """A fresh ``(kernel, *extras)`` copy of the captured state."""
+        return clone_kernel(self._frozen[0], *self._frozen[1:])
+
+    @property
+    def kernel(self):
+        """Read-only view of the frozen kernel (do not mutate)."""
+        return self._frozen[0]

@@ -1,0 +1,185 @@
+"""The process-parallel benchmark engine and its determinism contract.
+
+Serial and parallel runs must be indistinguishable in everything except
+wall-clock: identical markdown from ``repro.bench.report``, identical
+key order (and, in virtual mode, identical values) from
+``repro.bench.speed``.  Also covers the CLI satellites: comma-separated
+``--only`` with loud unknown-name errors, and the ``--check`` gate
+failing loudly on unmapped baseline keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench import parallel, report, speed
+
+#: A cheap, fully deterministic experiment subset for equality tests.
+SUBSET = "fig2,table4,space"
+
+
+def _square(x):
+    return x * x
+
+
+def _task_name(_ignored):
+    import random
+    return random.random()
+
+
+class TestRunTasks:
+    def test_order_preserved_serial(self):
+        tasks = [(f"t{i}", _square, (i,)) for i in range(7)]
+        results = parallel.run_tasks(tasks, jobs=1, progress=False)
+        assert [r.value for r in results] == [i * i for i in range(7)]
+        assert [r.index for r in results] == list(range(7))
+        assert all(r.worker == "main" for r in results)
+
+    def test_order_preserved_parallel(self):
+        tasks = [(f"t{i}", _square, (i,)) for i in range(7)]
+        results = parallel.run_tasks(tasks, jobs=3, progress=False)
+        assert [r.value for r in results] == [i * i for i in range(7)]
+        assert all(r.wall_clock_s >= 0.0 for r in results)
+        assert all(r.worker for r in results)
+
+    def test_per_task_seeding_is_deterministic(self):
+        tasks = [(name, _task_name, (None,)) for name in ("a", "b", "a")]
+        serial = parallel.run_tasks(tasks, jobs=1, progress=False)
+        again = parallel.run_tasks(tasks, jobs=2, progress=False)
+        assert [r.value for r in serial] == [r.value for r in again]
+        # Same name -> same seed -> same draw; different name differs.
+        assert serial[0].value == serial[2].value
+        assert serial[0].value != serial[1].value
+
+    def test_resolve_jobs(self):
+        assert parallel.resolve_jobs(None) == (os.cpu_count() or 1)
+        assert parallel.resolve_jobs(0) == (os.cpu_count() or 1)
+        assert parallel.resolve_jobs(1) == 1
+        assert parallel.resolve_jobs(-3) == 1
+        assert parallel.resolve_jobs(5) == 5
+
+    def test_timing_appendix_mentions_every_task(self):
+        tasks = [(f"t{i}", _square, (i,)) for i in range(3)]
+        results = parallel.run_tasks(tasks, jobs=1, progress=False)
+        appendix = parallel.timing_appendix(results)
+        assert "## Appendix: harness timing" in appendix
+        for i in range(3):
+            assert f"| t{i} |" in appendix
+
+
+class TestReportEngine:
+    def test_parallel_markdown_byte_identical(self):
+        serial, ok1 = report.generate(quick=True, only=SUBSET, jobs=1,
+                                      progress=False)
+        fanned, ok2 = report.generate(quick=True, only=SUBSET, jobs=2,
+                                      progress=False)
+        assert serial == fanned
+        assert ok1 == ok2
+
+    def test_timing_appendix_is_opt_in(self):
+        plain, _ = report.generate(quick=True, only="table4", jobs=1,
+                                   progress=False)
+        timed, _ = report.generate(quick=True, only="table4", jobs=1,
+                                   timing=True, progress=False)
+        assert "Appendix: harness timing" not in plain
+        assert "Appendix: harness timing" in timed
+        assert "| table4 |" in timed
+
+    def test_select_experiments_comma_list_keeps_registry_order(self):
+        names = report.select_experiments("table4,fig2")
+        assert names == ["fig2", "table4"]
+
+    def test_select_experiments_unknown_names_raise(self):
+        with pytest.raises(report.UnknownExperimentError) as exc:
+            report.select_experiments("fig2,bogus,nope")
+        assert exc.value.names == ["bogus", "nope"]
+
+    def test_main_unknown_only_exits_nonzero(self, capsys):
+        status = report.main(["--quick", "--only", "doesnotexist"])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "doesnotexist" in err
+
+    def test_wall_clock_fields_populated(self):
+        results = parallel.run_tasks(
+            [("table4", report.run_experiment, ("table4", True))],
+            jobs=1, progress=False)
+        rep = results[0].value
+        rep.wall_clock_s = results[0].wall_clock_s
+        rep.worker = results[0].worker
+        assert rep.wall_clock_s > 0.0
+        assert "harness:" in rep.to_text()
+
+
+class TestSpeedEngine:
+    def test_virtual_results_identical_serial_vs_parallel(self):
+        serial = speed.run_benchmarks(scale=0.01, reps=1, jobs=1,
+                                      virtual=True, verbose=False)
+        fanned = speed.run_benchmarks(scale=0.01, reps=1, jobs=2,
+                                      virtual=True, verbose=False)
+        assert serial == fanned
+        assert list(serial) == list(fanned)  # key order too
+
+    def test_matrix_covers_every_benchmark_and_profile(self):
+        results = speed.run_benchmarks(scale=0.01, reps=1, jobs=1,
+                                       virtual=True, verbose=False)
+        expected = {f"{name}[{profile}]"
+                    for name, _setup, _n in speed.BENCHMARKS
+                    for profile in speed.PROFILES}
+        assert set(results) == expected
+
+
+class TestNameMapAndCheckGate:
+    def test_name_map_covers_committed_baseline(self):
+        here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        with open(os.path.join(here, "BENCH_simspeed.json")) as fh:
+            baseline = json.load(fh)["results"]
+        mapped = set(speed.PYTEST_NAME_MAP.values())
+        uncovered = set(baseline) - mapped
+        assert not uncovered, (
+            f"baseline keys with no pytest mapping: {sorted(uncovered)}")
+
+    def test_name_map_matrix_is_complete(self):
+        # Every (benchmark, profile) cell has a pytest name mapped to it.
+        expected = {f"{name}[{profile}]"
+                    for name, _setup, _n in speed.BENCHMARKS
+                    for profile in speed.PROFILES}
+        assert set(speed.PYTEST_NAME_MAP.values()) == expected
+
+    def _write(self, path, payload):
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        return str(path)
+
+    def test_check_fails_loudly_on_uncovered_baseline_key(self, tmp_path,
+                                                          capsys):
+        baseline = self._write(tmp_path / "base.json", {
+            "results": {"warm_stat[baseline]": 10.0,
+                        "warm_stat[optimized]": 5.0}})
+        export = self._write(tmp_path / "bench.json", {
+            "benchmarks": [{"name": "test_warm_stat_wallclock[baseline]",
+                            "stats": {"median": 10.0e-6}}]})
+        status = speed.check_regressions(export, baseline, 0.25)
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "warm_stat[optimized]" in err
+
+    def test_check_passes_when_all_keys_covered(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", {
+            "results": {"warm_stat[baseline]": 10.0}})
+        export = self._write(tmp_path / "bench.json", {
+            "benchmarks": [{"name": "test_warm_stat_wallclock[baseline]",
+                            "stats": {"median": 10.0e-6}}]})
+        assert speed.check_regressions(export, baseline, 0.25) == 0
+        assert "all 1 baseline keys covered" in capsys.readouterr().out
+
+    def test_check_still_catches_regressions(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", {
+            "results": {"warm_stat[baseline]": 10.0}})
+        export = self._write(tmp_path / "bench.json", {
+            "benchmarks": [{"name": "test_warm_stat_wallclock[baseline]",
+                            "stats": {"median": 20.0e-6}}]})
+        assert speed.check_regressions(export, baseline, 0.25) == 1

@@ -17,11 +17,21 @@ class TestReportCli:
         assert "### Table 4" in out
         assert "EXPERIMENTS — paper vs. measured" in out
 
-    def test_unknown_only_runs_nothing(self, capsys):
+    def test_unknown_only_fails_loudly(self, capsys):
         status = report_cli.main(["--quick", "--only", "nonexistent"])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert "###" not in captured.out
+        assert "nonexistent" in captured.err
+        # The error lists the known names so the typo is easy to fix.
+        assert "table4" in captured.err
+
+    def test_only_accepts_comma_separated_names(self, capsys):
+        status = report_cli.main(["--quick", "--only", "table4,fig2"])
         out = capsys.readouterr().out
         assert status == 0
-        assert "###" not in out
+        assert "### Table 4" in out
+        assert "### Figure 2" in out
 
     def test_output_written(self, tmp_path, capsys):
         target = tmp_path / "EXP.md"
