@@ -102,3 +102,22 @@ def test_rename_churn_wallclock(benchmark, profile):
             kernel.sys.stat(task, f"{dst}/f{i}")
 
     benchmark(churn)
+
+
+@pytest.mark.parametrize("profile",
+                         ["baseline", "optimized", "optimized-lazy"])
+def test_trace_replay_wallclock(benchmark, profile):
+    """Compiled replay of the self-undoing fd-heavy loop trace.
+
+    Compilation happens once, outside the timed loop; each benchmark
+    round is one full ``replay_compiled`` pass (~2.2k events) through
+    the batched dispatch table.  The trace restores its initial FS
+    state and closes every fd, so rounds are deterministic.
+    """
+    from repro.workloads.compile import build_loop_trace, compile_trace
+    from repro.workloads.traces import replay_compiled
+    kernel = make_kernel(profile)
+    task = kernel.spawn_task(uid=0, gid=0)
+    program = compile_trace(build_loop_trace(profile=profile))
+    replay_compiled(kernel, task, program)  # warm caches + fd numbering
+    benchmark(replay_compiled, kernel, task, program)

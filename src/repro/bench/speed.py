@@ -21,10 +21,13 @@ Modes:
 
 ``repro-speed [--output BENCH_simspeed.json] [--jobs N]``
     Run the benchmark loops (warm stat, create/unlink, readdir,
-    rename-invalidation, and rename-churn on all three kernel profiles)
-    and write median microseconds-per-operation to a JSON file.  The
-    committed ``BENCH_simspeed.json`` at the repo root is generated this
-    way.
+    rename-invalidation, rename-churn, and compiled trace replay on all
+    three kernel profiles) and write median microseconds-per-operation
+    to a JSON file.  The committed ``BENCH_simspeed.json`` at the repo
+    root is generated this way.  ``--only name,name`` restricts the run
+    (unknown names exit 2); ``--timing`` appends a markdown table
+    reporting trace **compile** time separately from the executed op/s
+    numbers (the ``trace_replay`` cell times execution only).
 
 ``repro-speed --virtual [--jobs N]``
     Record *virtual* nanoseconds per op instead of wall-clock
@@ -54,6 +57,8 @@ from repro import O_CREAT, O_RDWR, make_kernel
 from repro.bench import parallel
 from repro.sim.snapshot import KernelSnapshot
 from repro.workloads import lmbench
+from repro.workloads.compile import build_loop_trace, compile_trace
+from repro.workloads.traces import replay_compiled
 from repro.workloads.tree import build_flat_dir
 
 #: Kernel profiles every benchmark runs against.
@@ -83,6 +88,10 @@ PYTEST_NAME_MAP = {
     "test_rename_churn_wallclock[optimized]": "rename_churn[optimized]",
     "test_rename_churn_wallclock[optimized-lazy]":
         "rename_churn[optimized-lazy]",
+    "test_trace_replay_wallclock[baseline]": "trace_replay[baseline]",
+    "test_trace_replay_wallclock[optimized]": "trace_replay[optimized]",
+    "test_trace_replay_wallclock[optimized-lazy]":
+        "trace_replay[optimized-lazy]",
 }
 
 
@@ -103,11 +112,13 @@ def _setup_warm_stat(profile: str) -> SetupResult:
     kernel.sys.stat(task, lmbench.LONG_PATH)  # steady state is the target
 
     def bind(kernel, task) -> Callable[[], None]:
-        stat = kernel.sys.stat
+        # Rep loops dispatch through a batch prologue: per-op entries
+        # are prebound to the task once per rep, not per call.
+        stat = kernel.sys.batch(task).stat
         path = lmbench.LONG_PATH
 
         def op() -> None:
-            stat(task, path)
+            stat(path)
 
         return op
 
@@ -120,16 +131,17 @@ def _setup_create_unlink(profile: str) -> SetupResult:
     kernel.sys.mkdir(task, "/w")
 
     def bind(kernel, task) -> Callable[[], None]:
-        sys_open, sys_close = kernel.sys.open, kernel.sys.close
-        sys_unlink = kernel.sys.unlink
+        batch = kernel.sys.batch(task)
+        sys_open, sys_close, sys_unlink = batch.open, batch.close, \
+            batch.unlink
         counter = [0]
 
         def op() -> None:
             path = f"/w/f{counter[0]}"
             counter[0] += 1
-            fd = sys_open(task, path, O_CREAT | O_RDWR)
-            sys_close(task, fd)
-            sys_unlink(task, path)
+            fd = sys_open(path, O_CREAT | O_RDWR)
+            sys_close(fd)
+            sys_unlink(path)
 
         return op
 
@@ -143,10 +155,10 @@ def _setup_readdir(profile: str) -> SetupResult:
     kernel.sys.listdir(task, "/big")
 
     def bind(kernel, task) -> Callable[[], None]:
-        listdir = kernel.sys.listdir
+        listdir = kernel.sys.batch(task).listdir
 
         def op() -> None:
-            listdir(task, "/big")
+            listdir("/big")
 
         return op
 
@@ -171,15 +183,16 @@ def _setup_rename_inval(profile: str) -> SetupResult:
     kernel.sys.stat(task, "/r/d0/sub/f")
 
     def bind(kernel, task) -> Callable[[], None]:
-        rename, stat = kernel.sys.rename, kernel.sys.stat
+        batch = kernel.sys.batch(task)
+        rename, stat = batch.rename, batch.stat
         flip = [0]
 
         def op() -> None:
             src, dst = ("/r/d0", "/r/d1") if flip[0] == 0 \
                 else ("/r/d1", "/r/d0")
             flip[0] ^= 1
-            rename(task, src, dst)
-            stat(task, dst + "/sub/f")
+            rename(src, dst)
+            stat(dst + "/sub/f")
 
         return op
 
@@ -205,16 +218,42 @@ def _setup_rename_churn(profile: str) -> SetupResult:
         kernel.sys.stat(task, f"/c/d0/f{i}")
 
     def bind(kernel, task) -> Callable[[], None]:
-        rename, stat = kernel.sys.rename, kernel.sys.stat
+        batch = kernel.sys.batch(task)
+        rename, stat = batch.rename, batch.stat
         flip = [0]
 
         def op() -> None:
             src, dst = ("/c/d0", "/c/d1") if flip[0] == 0 \
                 else ("/c/d1", "/c/d0")
             flip[0] ^= 1
-            rename(task, src, dst)
+            rename(src, dst)
             for i in range(0, 50, 10):
-                stat(task, f"{dst}/f{i}")
+                stat(f"{dst}/f{i}")
+
+        return op
+
+    return kernel, task, bind
+
+
+def _setup_trace_replay(profile: str) -> SetupResult:
+    """Compiled replay of the self-undoing fd-heavy loop trace.
+
+    Compilation happens here, in setup — the timed op is **execution
+    only** (one full ``replay_compiled`` pass over ~2.2k events through
+    the batched dispatch table).  Compile cost is reported separately by
+    ``--timing`` so it cannot hide in these op/s numbers.  The trace
+    ends in the filesystem state it started from with every fd closed,
+    so back-to-back replays on one kernel are deterministic.
+    """
+    kernel = make_kernel(profile)
+    task = kernel.spawn_task(uid=0, gid=0)
+    trace = build_loop_trace(profile=profile)
+    program = compile_trace(trace)
+    replay_compiled(kernel, task, program)  # warm caches + fd numbering
+
+    def bind(kernel, task) -> Callable[[], None]:
+        def op() -> None:
+            replay_compiled(kernel, task, program)
 
         return op
 
@@ -227,6 +266,7 @@ BENCHMARKS: List[Tuple[str, Callable[[str], SetupResult], int]] = [
     ("readdir", _setup_readdir, 100),
     ("rename_inval", _setup_rename_inval, 1_000),
     ("rename_churn", _setup_rename_churn, 500),
+    ("trace_replay", _setup_trace_replay, 25),
 ]
 
 _BENCH_BY_NAME = {name: (setup, n) for name, setup, n in BENCHMARKS}
@@ -277,18 +317,25 @@ def measure_cell(bench_name: str, profile: str, iters: int, reps: int,
 
 
 def run_benchmarks(scale: float = 1.0, reps: int = 3, jobs: int = 1,
-                   virtual: bool = False,
-                   verbose: bool = True) -> Dict[str, float]:
+                   virtual: bool = False, verbose: bool = True,
+                   only: "List[str] | None" = None) -> Dict[str, float]:
     """Run the benchmark × profile matrix; returns key -> value.
 
     Values are median wall-clock µs/op, or virtual ns/op with
     ``virtual=True``.  The matrix is fanned out over ``jobs`` worker
     processes; the result dict is built in matrix order regardless of
     completion order, so key order (and, in virtual mode, the values)
-    match a serial run exactly.
+    match a serial run exactly.  ``only`` restricts the run to the named
+    benchmarks (every name must exist in ``BENCHMARKS``).
     """
+    selected = BENCHMARKS
+    if only is not None:
+        unknown = sorted(set(only) - set(_BENCH_BY_NAME))
+        if unknown:
+            raise KeyError(f"unknown benchmark name(s): {', '.join(unknown)}")
+        selected = [row for row in BENCHMARKS if row[0] in only]
     cells = [(name, profile, max(1, int(n * scale)))
-             for name, _setup, n in BENCHMARKS
+             for name, _setup, n in selected
              for profile in PROFILES]
     tasks: List[parallel.TaskSpec] = [
         (f"{name}[{profile}]", measure_cell,
@@ -303,6 +350,27 @@ def run_benchmarks(scale: float = 1.0, reps: int = 3, jobs: int = 1,
             print(f"  {result.name:32s} {result.value:10.2f} {unit}"
                   f"   [{result.wall_clock_s:.2f}s on {result.worker}]")
     return out
+
+
+def print_timing_appendix() -> None:
+    """Markdown appendix separating compile cost from execute cost.
+
+    The ``trace_replay`` cell times execution only (compilation happens
+    in setup); this table is where the compile overhead shows up, so it
+    can be audited instead of hiding in — or silently inflating — the
+    op/s numbers.
+    """
+    print()
+    print("## Trace-compile timing (not part of the op/s numbers)")
+    print()
+    print("| profile | events | compile (ms) | compile (us/event) |")
+    print("|---------|--------|--------------|--------------------|")
+    for profile in PROFILES:
+        trace = build_loop_trace(profile=profile)
+        program = compile_trace(trace)
+        n = len(trace.events)
+        ms = program.compile_wall_s * 1e3
+        print(f"| {profile} | {n} | {ms:.2f} | {ms * 1e3 / n:.2f} |")
 
 
 # -- regression check -----------------------------------------------------
@@ -381,6 +449,13 @@ def main(argv=None) -> int:
                         help="record deterministic virtual ns/op instead "
                              "of wall-clock us/op (byte-identical across "
                              "runs, hosts, and --jobs values)")
+    parser.add_argument("--only", metavar="NAMES",
+                        help="comma-separated benchmark names to run "
+                             "(e.g. trace_replay); unknown names are an "
+                             "error")
+    parser.add_argument("--timing", action="store_true",
+                        help="print a markdown appendix reporting trace "
+                             "compile time separately from execute time")
     parser.add_argument("--check", metavar="PYTEST_JSON",
                         help="pytest-benchmark JSON export to check against "
                              "the committed baseline instead of running")
@@ -395,13 +470,27 @@ def main(argv=None) -> int:
     if args.check:
         return check_regressions(args.check, args.baseline, args.threshold)
 
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = sorted(set(only) - {name for name, _s, _n in BENCHMARKS})
+        if unknown:
+            print(f"error: unknown benchmark name(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            print(f"known: {', '.join(name for name, _s, _n in BENCHMARKS)}",
+                  file=sys.stderr)
+            return 2
+
     if args.virtual:
         print("Simulator speed (virtual ns per simulated op — "
               "deterministic):")
     else:
         print("Simulator speed (median wall-clock us per simulated op):")
     results = run_benchmarks(scale=args.scale, reps=args.reps,
-                             jobs=args.jobs, virtual=args.virtual)
+                             jobs=args.jobs, virtual=args.virtual,
+                             only=only)
+    if args.timing:
+        print_timing_appendix()
     payload = {
         "schema": ("dcache-repro-simspeed-virtual/1" if args.virtual
                    else "dcache-repro-simspeed/1"),

@@ -16,8 +16,8 @@ result-for-result (the equivalence oracle of the test suite).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from functools import partial
+from typing import List, NamedTuple, Optional, Tuple
 
 from repro import errors
 from repro.vfs import path as vfspath
@@ -33,9 +33,14 @@ from repro.vfs.task import Task
 _TEMP_CHARS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
 
 
-@dataclass(frozen=True)
-class StatResult:
-    """What ``stat(2)`` reports."""
+class StatResult(NamedTuple):
+    """What ``stat(2)`` reports.
+
+    A NamedTuple rather than a frozen dataclass: construction is one
+    C-level call instead of nine ``object.__setattr__`` round-trips,
+    and stat/fstat results are built on the simulator's hottest paths.
+    Field access, equality, hashing, and repr are unchanged.
+    """
 
     ino: int
     mode: int
@@ -50,6 +55,189 @@ class StatResult:
     mtime_ns: int = 0
 
 
+# -- batched dispatch -----------------------------------------------------
+#
+# The fast entries below are hand-specialized clones of the fd-based
+# syscall bodies with every per-call prologue load — task, fd table,
+# cost-model charge entry, sweeper, readdir engine — pinned in the
+# closure at batch-creation time.  They MUST stay semantically identical
+# to the facade methods they mirror (same charges in the same order,
+# same error types and messages); tests/test_compiled_replay.py drives
+# the same op streams through both surfaces and asserts bit-identical
+# virtual costs, Stats, and outcomes.  Only fd ops are specialized:
+# path-based ops are dominated by resolution, where a pinned prologue
+# buys nothing.
+
+def _fast_close(sys_: "Syscalls", task: Task):
+    charge, sweeper = sys_._charge, sys_._sweeper
+    files = task.fds._files
+
+    def close(fd: int) -> None:
+        charge("syscall_fixed")
+        if sweeper is not None:
+            sweeper.poll()
+        charge("close_fd")
+        file = files.pop(fd, None)
+        if file is None:
+            raise errors.EBADF(message=f"fd {fd}")
+        file.release()
+
+    return close
+
+
+def _fast_lseek(sys_: "Syscalls", task: Task):
+    charge, sweeper = sys_._charge, sys_._sweeper
+    files = task.fds._files
+    readdir_engine = sys_.kernel.readdir_engine
+
+    def lseek(fd: int, offset: int) -> int:
+        charge("syscall_fixed")
+        if sweeper is not None:
+            sweeper.poll()
+        file = files.get(fd)
+        if file is None or file.closed:
+            raise errors.EBADF(message=f"fd {fd}")
+        if file.pos.dentry.is_dir:
+            readdir_engine.seek(file, offset)
+        file.offset = offset
+        return offset
+
+    return lseek
+
+
+def _fast_fstat(sys_: "Syscalls", task: Task):
+    charge, sweeper = sys_._charge, sys_._sweeper
+    files = task.fds._files
+
+    def fstat(fd: int) -> StatResult:
+        charge("syscall_fixed")
+        if sweeper is not None:
+            sweeper.poll()
+        file = files.get(fd)
+        if file is None or file.closed:
+            raise errors.EBADF(message=f"fd {fd}")
+        inode = file.pos.dentry.inode
+        if inode is None:
+            raise errors.ENOENT(message="file removed during stat")
+        charge("stat_fill")
+        return StatResult(inode.ino, inode.mode, inode.uid, inode.gid,
+                          inode.nlink, inode.size, inode.filetype,
+                          inode.fs.fstype, inode.mtime_ns)
+
+    return fstat
+
+
+def _fast_read(sys_: "Syscalls", task: Task):
+    charge, sweeper = sys_._charge, sys_._sweeper
+    files = task.fds._files
+
+    def read(fd: int, length: int) -> bytes:
+        charge("syscall_fixed")
+        if sweeper is not None:
+            sweeper.poll()
+        file = files.get(fd)
+        if file is None or file.closed:
+            raise errors.EBADF(message=f"fd {fd}")
+        if file.flags & O_ACCMODE not in (O_RDONLY, O_RDWR):
+            raise errors.EBADF(message=f"fd {fd} not readable")
+        inode = file.pos.dentry.inode
+        if inode.is_dir:
+            raise errors.EISDIR(message="read on a directory fd")
+        data = inode.fs.read(inode.ino, file.offset, length)
+        file.offset += len(data)
+        return data
+
+    return read
+
+
+def _fast_write(sys_: "Syscalls", task: Task):
+    charge, sweeper = sys_._charge, sys_._sweeper
+    files = task.fds._files
+    sync_inode = sys_._sync_inode
+
+    def write(fd: int, data: bytes) -> int:
+        charge("syscall_fixed")
+        if sweeper is not None:
+            sweeper.poll()
+        file = files.get(fd)
+        if file is None or file.closed:
+            raise errors.EBADF(message=f"fd {fd}")
+        if file.flags & O_ACCMODE not in (O_WRONLY, O_RDWR):
+            raise errors.EBADF(message=f"fd {fd} not writable")
+        inode = file.pos.dentry.inode
+        if file.flags & O_APPEND:
+            file.offset = inode.size
+        written = inode.fs.write(inode.ino, file.offset, data)
+        file.offset += written
+        sync_inode(inode)
+        return written
+
+    return write
+
+
+#: op name -> specialized fast-entry builder.
+_FAST_ENTRIES = {
+    "close": _fast_close,
+    "lseek": _fast_lseek,
+    "fstat": _fast_fstat,
+    "read": _fast_read,
+    "write": _fast_write,
+}
+
+
+class SyscallBatch:
+    """Pinned-task dispatch table: prebound per-op syscall entries.
+
+    Obtained from :meth:`Syscalls.batch`.  A batch resolves the per-call
+    *Python-level* prologue once — the bound-method fetch, the task
+    argument, and (for the hot fd ops) the fd-table/cost-model/sweeper
+    loads — and hands out per-op fast entries (``batch.stat(path)``
+    instead of ``kernel.sys.stat(task, path)``), so hot loops that drive
+    millions of syscalls (the compiled trace replayer, the speed-suite
+    repetition loops) pay the dispatch setup per batch instead of per
+    event.  fd-based ops get hand-specialized closures (see
+    ``_FAST_ENTRIES``); every other op is a C-level ``partial`` over the
+    facade method.
+
+    Cost-attribution rule: batching changes **zero virtual charges**.
+    Every entry still runs the full syscall — ``syscall_fixed``, sweeper
+    polls, permission checks — so virtual clocks, counts, and Stats are
+    bit-identical to unbatched calls (``tests/test_compiled_replay``
+    pins this).  Only host wall-clock moves.
+
+    A batch pins per-task state (the fd table) at creation: create one
+    batch per (kernel, task) hot loop and drop it with the task.
+    Entries are cached on first attribute access; a batch is also a
+    (stateless) context manager so callers can scope its lifetime.
+    """
+
+    def __init__(self, syscalls: "Syscalls", task: Task):
+        self._syscalls = syscalls
+        self._task = task
+
+    def __enter__(self) -> "SyscallBatch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def __getattr__(self, op: str):
+        if op.startswith("_"):
+            raise AttributeError(op)
+        builder = _FAST_ENTRIES.get(op)
+        if builder is not None:
+            entry = builder(self._syscalls, self._task)
+        else:
+            entry = partial(getattr(self._syscalls, op), self._task)
+        # Cache on the instance: subsequent lookups bypass __getattr__.
+        self.__dict__[op] = entry
+        return entry
+
+    @property
+    def task(self) -> Task:
+        return self._task
+
+
 class Syscalls:
     """POSIX-flavoured entry points bound to one kernel."""
 
@@ -60,18 +248,31 @@ class Syscalls:
         self.dcache = kernel.dcache
         self.config = kernel.config
         self.lsm = kernel.lsm
+        # Prologue state pinned once per kernel: the charge fast path and
+        # the sweeper reference never change after construction, so
+        # _enter need not chase kernel attributes per call.
+        self._charge = self.costs.charge
+        self._sweeper = kernel.sweeper
 
     # ------------------------------------------------------------------
     # internal helpers
     # ------------------------------------------------------------------
 
     def _enter(self) -> None:
-        self.costs.charge("syscall_fixed")
-        sweeper = self.kernel.sweeper
+        self._charge("syscall_fixed")
+        sweeper = self._sweeper
         if sweeper is not None:
             # Lazy coherence: amortized sweep batches piggyback on
             # syscall entry (virtual time has no preemption).
             sweeper.poll()
+
+    def batch(self, task: Task) -> SyscallBatch:
+        """Prebound per-op entries with ``task`` pinned (hot-loop form).
+
+        See :class:`SyscallBatch` for the cost-attribution contract:
+        virtual charges are identical to unbatched calls.
+        """
+        return SyscallBatch(self, task)
 
     def _resolve(self, task: Task, path: str, **kw) -> PathPos:
         return self.kernel.resolver.resolve(task, path, **kw)

@@ -10,6 +10,13 @@
   (Figure 10).
 * :mod:`repro.workloads.webserver` — Apache directory-listing workload
   (Table 3).
+* :mod:`repro.workloads.traces` — record/replay: ``TraceRecorder``, the
+  per-event :func:`~repro.workloads.traces.replay` interpreter, and the
+  :func:`~repro.workloads.traces.replay_compiled` opcode loop.
+* :mod:`repro.workloads.compile` — the trace compiler: AOT-lowers
+  traces (and the generator-driven workloads above) to flat opcode
+  programs executed through the batched syscall dispatch table; see
+  ``docs/benchmarking.md``.
 """
 
 from repro.workloads.tree import TreeSpec, build_linux_like_tree, populate

@@ -29,9 +29,26 @@ PATH_LOOKUP_OPS = frozenset([
     "readlink", "chdir", "truncate",
 ])
 
-#: Argument positions (per op) holding fd slots, for remapping.
+#: Argument positions (per op) holding fd slots, for remapping.  The fd
+#: is always args[0] for these ops (for ``openat`` it is the dirfd).
 _FD_ARG_OPS = frozenset(["close", "read", "write", "lseek", "ftruncate",
-                         "getdents", "fstat", "fchdir"])
+                         "getdents", "fstat", "fchdir", "readdir",
+                         "openat"])
+
+
+def _normalize(value: Any) -> Any:
+    """Recursively turn JSON sequences back into tuples.
+
+    ``json`` round-trips every tuple as a list; re-tupling only the top
+    level left nested markers like ``("fd", 3)`` as lists after a
+    dumps/loads cycle, so a reloaded trace compared unequal to the
+    original.  Normalizing recursively makes dumps→loads the identity.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    return value
 
 
 @dataclass
@@ -58,8 +75,9 @@ class TraceEvent:
     @classmethod
     def from_json(cls, line: str) -> "TraceEvent":
         raw = json.loads(line)
-        return cls(op=raw["op"], args=tuple(raw["args"]),
-                   kwargs=raw.get("kwargs", {}),
+        return cls(op=raw["op"], args=_normalize(raw["args"]),
+                   kwargs={k: _normalize(v)
+                           for k, v in raw.get("kwargs", {}).items()},
                    returns_fd_slot=raw.get("fd_slot"),
                    errno=raw.get("errno"),
                    compute_ns=raw.get("compute_ns", 0.0))
@@ -86,6 +104,23 @@ class Trace:
 
     def __init__(self, events: Optional[List[TraceEvent]] = None):
         self.events: List[TraceEvent] = events or []
+
+    def slot_count(self) -> int:
+        """Number of fd slots a replay must provision for this trace."""
+        highest = -1
+        for event in self.events:
+            if event.returns_fd_slot is not None \
+                    and event.returns_fd_slot > highest:
+                highest = event.returns_fd_slot
+            for value in event.args:
+                if isinstance(value, tuple) and len(value) == 2 \
+                        and value[0] == "fd" and value[1] > highest:
+                    highest = value[1]
+            for value in event.kwargs.values():
+                if isinstance(value, tuple) and len(value) == 2 \
+                        and value[0] == "fd" and value[1] > highest:
+                    highest = value[1]
+        return highest + 1
 
     def stats(self) -> TraceStats:
         by_op: Dict[str, int] = {}
@@ -185,8 +220,30 @@ class TraceRecorder:
         return out
 
 
-class ReplayMismatch(AssertionError):
-    """A replayed call's outcome diverged from the recording."""
+class ReplayDivergence(AssertionError):
+    """A replayed call's outcome diverged from the recording.
+
+    Carries enough structure for callers to triage programmatically:
+    the event index within the trace, the op name, and the recorded vs
+    observed errno (``None`` means success).
+    """
+
+    def __init__(self, index: int, op: str,
+                 expected_errno: Optional[int],
+                 actual_errno: Optional[int],
+                 detail: str = ""):
+        self.index = index
+        self.op = op
+        self.expected_errno = expected_errno
+        self.actual_errno = actual_errno
+        super().__init__(
+            f"event {index} ({op}): recorded errno={expected_errno}, "
+            f"replayed errno={actual_errno}" + (f" [{detail}]" if detail
+                                                else ""))
+
+
+#: Backwards-compatible alias (pre-compiler name).
+ReplayMismatch = ReplayDivergence
 
 
 def replay(kernel: Kernel, task: Task, trace: Trace,
@@ -194,37 +251,119 @@ def replay(kernel: Kernel, task: Task, trace: Trace,
     """Replay a trace against a kernel, checking outcomes.
 
     With ``strict``, a call that succeeded at record time must succeed at
-    replay time and vice versa (matching errno).
+    replay time and vice versa (matching errno, else
+    :class:`ReplayDivergence`).  Per-event application compute is charged
+    *before* the call, unconditionally — error events carry their
+    preceding compute gap too, so the virtual clock advances identically
+    whether an event succeeds or fails.
     """
-    slot_fds: Dict[int, int] = {}
+    slot_fds: List[int] = [-1] * trace.slot_count()
+    charge_ns = kernel.costs.charge_ns
+    sys_facade = kernel.sys
 
     def decode(value):
-        if isinstance(value, (tuple, list)) and len(value) == 2 \
+        if isinstance(value, tuple) and len(value) == 2 \
                 and value[0] == "fd":
             return slot_fds[value[1]]
         return value
 
-    for event in trace.events:
+    for index, event in enumerate(trace.events):
         if event.compute_ns:
-            kernel.costs.charge_ns("app_compute", event.compute_ns)
+            charge_ns("app_compute", event.compute_ns)
         args = tuple(decode(a) for a in event.args)
         if event.op == "write" and len(args) == 2 \
                 and isinstance(args[1], str):
             args = (args[0], args[1].encode("latin-1"))
         kwargs = {k: decode(v) for k, v in event.kwargs.items()}
-        method = getattr(kernel.sys, event.op)
+        method = getattr(sys_facade, event.op)
         try:
             result = method(task, *args, **kwargs)
         except errors.FsError as exc:
             if strict and exc.errno != event.errno:
-                raise ReplayMismatch(
-                    f"{event.op}{args!r}: recorded "
-                    f"errno={event.errno}, replayed errno={exc.errno}")
+                raise ReplayDivergence(index, event.op, event.errno,
+                                       exc.errno, f"args={args!r}")
             continue
         if strict and event.errno is not None:
-            raise ReplayMismatch(
-                f"{event.op}{args!r}: recorded errno={event.errno}, "
-                f"replay succeeded")
+            raise ReplayDivergence(index, event.op, event.errno, None,
+                                   f"args={args!r}")
         if event.returns_fd_slot is not None:
             fd = result[0] if event.op == "mkstemp" else result
             slot_fds[event.returns_fd_slot] = fd
+
+
+def replay_compiled(kernel: Kernel, task: Task, program,
+                    strict: bool = True) -> None:
+    """Execute a :class:`~repro.workloads.compile.CompiledTrace`.
+
+    Semantically identical to :func:`replay` of the source trace —
+    same syscalls, same order, same compute charges, hence bit-identical
+    virtual costs and Stats (``tests/test_compiled_replay.py`` is the
+    differential gate) — but the per-event interpretation work is gone:
+    op dispatch is an index into a prebound method table (built once per
+    replay from a :meth:`~repro.vfs.syscalls.Syscalls.batch` prologue),
+    args are prefolded tuples, fd remaps are precomputed patch sites,
+    and the errno check is branch-on-None.
+
+    ``program`` is duck-typed (``op_table``, ``rows``, ``slot_count``)
+    so this module need not import the compiler.
+    """
+    batch = kernel.sys.batch(task)
+    methods = [getattr(batch, name) for name in program.op_table]
+    slot_fds: List[int] = [-1] * program.slot_count
+    charge_ns = kernel.costs.charge_ns
+    fs_error = errors.FsError
+
+    if not strict:
+        # Lenient path: mirror replay(strict=False) — unexpected
+        # outcomes are ignored and the stream continues.
+        for op_idx, args, patches, store, errno_exp, compute, pair \
+                in program.rows:
+            if compute:
+                charge_ns("app_compute", compute)
+            if patches is not None:
+                for arg_idx, slot in patches:
+                    args[arg_idx] = slot_fds[slot]
+            try:
+                result = methods[op_idx](*args)
+            except fs_error:
+                continue
+            if store >= 0 and errno_exp is None:
+                slot_fds[store] = result[0] if pair else result
+        return
+
+    index = -1
+    try:
+        # Row layout (see compile.py): op_idx, args, patches, store_slot,
+        # expected_errno, compute_ns, unpack_pair.  Events expected to
+        # succeed run with NO per-event try/except — the hoisted outer
+        # handler converts a stray FsError into a ReplayDivergence —
+        # while expected-error events (the minority) keep a local one.
+        # Patched args stay a list across calls (f(*list) binds the same
+        # as f(*tuple)); only the patch sites are rewritten per event.
+        for index, (op_idx, args, patches, store, errno_exp, compute,
+                    pair) in enumerate(program.rows):
+            if compute:
+                charge_ns("app_compute", compute)
+            if patches is not None:
+                for arg_idx, slot in patches:
+                    args[arg_idx] = slot_fds[slot]
+            if errno_exp is None:
+                result = methods[op_idx](*args)
+                if store >= 0:
+                    slot_fds[store] = result[0] if pair else result
+            else:
+                try:
+                    methods[op_idx](*args)
+                except fs_error as exc:
+                    if exc.errno != errno_exp:
+                        raise ReplayDivergence(
+                            index, program.op_table[op_idx], errno_exp,
+                            exc.errno, f"args={tuple(args)!r}") from exc
+                else:
+                    raise ReplayDivergence(
+                        index, program.op_table[op_idx], errno_exp,
+                        None, f"args={tuple(args)!r}")
+    except fs_error as exc:
+        op_idx = program.rows[index][0]
+        raise ReplayDivergence(index, program.op_table[op_idx],
+                               None, exc.errno) from exc

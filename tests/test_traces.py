@@ -81,6 +81,62 @@ class TestSerialization:
         assert restored.op == "stat" and restored.args == ("/x",)
         assert restored.errno == 2 and restored.compute_ns == 12.5
 
+    def test_nested_markers_survive_roundtrip(self):
+        """fd markers nested in args AND kwargs re-tuple on load.
+
+        The old from_json only re-tupled the top-level args list, so a
+        reloaded trace held ``["fd", 0]`` lists where the original had
+        ``("fd", 0)`` tuples — and compared unequal to itself.
+        """
+        event = TraceEvent(op="read", args=(("fd", 0), 100))
+        kw_event = TraceEvent(op="fstatat", args=("name",),
+                              kwargs={"dirfd": ("fd", 3), "follow": False})
+        for original in (event, kw_event):
+            restored = TraceEvent.from_json(original.to_json())
+            assert restored == original
+            for value in restored.args:
+                assert not isinstance(value, list)
+            for value in restored.kwargs.values():
+                assert not isinstance(value, list)
+
+    def test_dumps_loads_is_identity(self):
+        trace = _record_sample(make_kernel("baseline"))
+        reloaded = Trace.loads(trace.dumps())
+        assert reloaded.events == trace.events
+        # And idempotent at the text level.
+        assert reloaded.dumps() == trace.dumps()
+
+    def test_roundtrip_property(self):
+        """Property test: dumps→loads is the identity for any
+        JSON-representable, normalized event."""
+        from hypothesis import given, settings, strategies as st
+
+        scalars = st.one_of(
+            st.integers(min_value=-2**31, max_value=2**31),
+            st.text(max_size=12), st.booleans(), st.none())
+        nested = st.recursive(
+            scalars,
+            lambda child: st.lists(child, max_size=3).map(tuple),
+            max_leaves=6)
+
+        @given(op=st.sampled_from(["stat", "read", "rename", "open"]),
+               args=st.lists(nested, max_size=4).map(tuple),
+               kwargs=st.dictionaries(
+                   st.sampled_from(["dirfd", "follow", "mode"]),
+                   nested, max_size=2),
+               slot=st.one_of(st.none(), st.integers(0, 64)),
+               errno=st.one_of(st.none(), st.integers(1, 40)),
+               compute=st.floats(0, 1e9, allow_nan=False))
+        @settings(max_examples=60, deadline=None)
+        def roundtrip(op, args, kwargs, slot, errno, compute):
+            event = TraceEvent(op=op, args=args, kwargs=kwargs,
+                               returns_fd_slot=slot, errno=errno,
+                               compute_ns=compute)
+            line = Trace([event]).dumps()
+            assert Trace.loads(line).events == [event]
+
+        roundtrip()
+
 
 class TestReplay:
     def test_replay_on_fresh_kernel(self):
@@ -131,3 +187,40 @@ class TestReplay:
         assert "stat" in PATH_LOOKUP_OPS
         assert "read" not in PATH_LOOKUP_OPS
         assert "getdents" not in PATH_LOOKUP_OPS
+
+    def test_divergence_carries_structure(self):
+        """ReplayDivergence is typed: index/op/errnos, not a bare
+        AssertionError message to parse."""
+        from repro.workloads.traces import ReplayDivergence
+        trace = _record_sample(make_kernel("baseline"))
+        kernel = make_kernel("baseline")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/proj")
+        fd = kernel.sys.open(task, "/proj/missing.h", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        with pytest.raises(ReplayDivergence) as excinfo:
+            replay(kernel, task, trace)
+        exc = excinfo.value
+        assert exc.index == 0 and exc.op == "mkdir"
+        assert exc.expected_errno is None
+        assert exc.actual_errno is not None
+        assert isinstance(exc, AssertionError)  # old except clauses work
+        assert ReplayMismatch is ReplayDivergence  # legacy alias
+
+    def test_compute_charged_before_erroring_event(self):
+        """A compute gap attached to an event that errors is charged
+        before the call — the clock advances whether or not the event
+        succeeds."""
+        kernel = make_kernel("baseline")
+        task = kernel.spawn_task(uid=0, gid=0)
+        rec = TraceRecorder(kernel, task)
+        rec.compute(7_000)
+        with pytest.raises(errors.ENOENT):
+            rec.stat("/nope")
+        trace = rec.trace
+        assert trace.events[-1].compute_ns == 7_000
+        fresh = make_kernel("baseline")
+        ftask = fresh.spawn_task(uid=0, gid=0)
+        before = fresh.costs.now_ns
+        replay(fresh, ftask, trace)
+        assert fresh.costs.now_ns - before >= 7_000
