@@ -106,6 +106,40 @@ def test_rename_churn_wallclock(benchmark, profile):
 
 @pytest.mark.parametrize("profile",
                          ["baseline", "optimized", "optimized-lazy"])
+def test_stat_churn_wallclock(benchmark, profile):
+    """Interleaved stat/rename over overlapping hot paths.
+
+    Exercises the resolution memo's invalidation cost: eight warm stats,
+    a sibling-directory rename (bulk memo flush), then re-stats of half
+    the files that must re-record and re-confirm.
+    """
+    kernel = make_kernel(profile)
+    task = kernel.spawn_task(uid=0, gid=0)
+    kernel.sys.mkdir(task, "/s")
+    kernel.sys.mkdir(task, "/s/hot")
+    for i in range(8):
+        fd = kernel.sys.open(task, f"/s/hot/f{i}", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        kernel.sys.stat(task, f"/s/hot/f{i}")
+    kernel.sys.mkdir(task, "/s/flip0")
+    paths = [f"/s/hot/f{i}" for i in range(8)]
+    flip = [0]
+
+    def churn():
+        for path in paths:
+            kernel.sys.stat(task, path)
+        src, dst = ("/s/flip0", "/s/flip1") if flip[0] == 0 \
+            else ("/s/flip1", "/s/flip0")
+        flip[0] ^= 1
+        kernel.sys.rename(task, src, dst)
+        for path in paths[::2]:
+            kernel.sys.stat(task, path)
+
+    benchmark(churn)
+
+
+@pytest.mark.parametrize("profile",
+                         ["baseline", "optimized", "optimized-lazy"])
 def test_trace_replay_wallclock(benchmark, profile):
     """Compiled replay of the self-undoing fd-heavy loop trace.
 

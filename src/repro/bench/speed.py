@@ -19,15 +19,19 @@ are identical to a serial run.
 
 Modes:
 
-``repro-speed [--output BENCH_simspeed.json] [--jobs N]``
-    Run the benchmark loops (warm stat, create/unlink, readdir,
-    rename-invalidation, rename-churn, and compiled trace replay on all
-    three kernel profiles) and write median microseconds-per-operation
-    to a JSON file.  The committed ``BENCH_simspeed.json`` at the repo
-    root is generated this way.  ``--only name,name`` restricts the run
-    (unknown names exit 2); ``--timing`` appends a markdown table
-    reporting trace **compile** time separately from the executed op/s
-    numbers (the ``trace_replay`` cell times execution only).
+``repro-speed [--output BENCH_simspeed.json] [--jobs N] [--memo on|off]``
+    Run the benchmark loops (warm stat, stat/rename churn,
+    create/unlink, readdir, rename-invalidation, rename-churn, and
+    compiled trace replay on all three kernel profiles) and write
+    median microseconds-per-operation to a JSON file.  The committed
+    ``BENCH_simspeed.json`` at the repo root is generated this way.
+    ``--only name,name`` restricts the run (unknown names exit 2);
+    ``--timing`` appends markdown tables reporting trace **compile**
+    time and resolution-memo hit/flush counters separately from the
+    executed op/s numbers (the ``trace_replay`` cell times execution
+    only).  ``--memo off`` disables the resolution memo
+    (:mod:`repro.core.resmemo`) in every benchmark kernel — virtual
+    results are bit-identical either way; only wall-clock moves.
 
 ``repro-speed --virtual [--jobs N]``
     Record *virtual* nanoseconds per op instead of wall-clock
@@ -48,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -63,6 +68,21 @@ from repro.workloads.tree import build_flat_dir
 
 #: Kernel profiles every benchmark runs against.
 PROFILES = ("baseline", "optimized", "optimized-lazy")
+
+
+def _memo_enabled() -> bool:
+    """Resolution-memo switch for benchmark kernels.
+
+    Read from the environment (not CLI plumbing) so the setting reaches
+    ``--jobs`` worker processes unchanged; ``--memo off`` sets it.
+    """
+    return os.environ.get("REPRO_RESOLUTION_MEMO", "on").lower() \
+        not in ("off", "0", "false")
+
+
+def _make(profile: str):
+    """Benchmark kernel honouring the ``--memo`` switch."""
+    return make_kernel(profile, resolution_memo=_memo_enabled())
 
 #: pytest-benchmark test name -> result key in BENCH_simspeed.json.
 #: Used by ``--check`` to line CI benchmark runs up with the committed
@@ -92,6 +112,9 @@ PYTEST_NAME_MAP = {
     "test_trace_replay_wallclock[optimized]": "trace_replay[optimized]",
     "test_trace_replay_wallclock[optimized-lazy]":
         "trace_replay[optimized-lazy]",
+    "test_stat_churn_wallclock[baseline]": "stat_churn[baseline]",
+    "test_stat_churn_wallclock[optimized]": "stat_churn[optimized]",
+    "test_stat_churn_wallclock[optimized-lazy]": "stat_churn[optimized-lazy]",
 }
 
 
@@ -107,7 +130,7 @@ SetupResult = Tuple[object, object, Callable]
 
 
 def _setup_warm_stat(profile: str) -> SetupResult:
-    kernel = make_kernel(profile)
+    kernel = _make(profile)
     task = lmbench.prepare_lookup_tree(kernel)
     kernel.sys.stat(task, lmbench.LONG_PATH)  # steady state is the target
 
@@ -126,7 +149,7 @@ def _setup_warm_stat(profile: str) -> SetupResult:
 
 
 def _setup_create_unlink(profile: str) -> SetupResult:
-    kernel = make_kernel(profile)
+    kernel = _make(profile)
     task = kernel.spawn_task(uid=0, gid=0)
     kernel.sys.mkdir(task, "/w")
 
@@ -149,7 +172,7 @@ def _setup_create_unlink(profile: str) -> SetupResult:
 
 
 def _setup_readdir(profile: str) -> SetupResult:
-    kernel = make_kernel(profile)
+    kernel = _make(profile)
     task = kernel.spawn_task(uid=0, gid=0)
     build_flat_dir(kernel, task, "/big", 500)
     kernel.sys.listdir(task, "/big")
@@ -173,7 +196,7 @@ def _setup_rename_inval(profile: str) -> SetupResult:
     with a stat — the simulator-speed view of the paper's deliberate
     lookup/mutation trade-off.
     """
-    kernel = make_kernel(profile)
+    kernel = _make(profile)
     task = kernel.spawn_task(uid=0, gid=0)
     kernel.sys.mkdir(task, "/r")
     kernel.sys.mkdir(task, "/r/d0")
@@ -208,7 +231,7 @@ def _setup_rename_churn(profile: str) -> SetupResult:
     revalidation of only the files actually re-statted — the workload
     the ``optimized-lazy`` profile exists for.
     """
-    kernel = make_kernel(profile)
+    kernel = _make(profile)
     task = kernel.spawn_task(uid=0, gid=0)
     kernel.sys.mkdir(task, "/c")
     kernel.sys.mkdir(task, "/c/d0")
@@ -245,7 +268,7 @@ def _setup_trace_replay(profile: str) -> SetupResult:
     ends in the filesystem state it started from with every fd closed,
     so back-to-back replays on one kernel are deterministic.
     """
-    kernel = make_kernel(profile)
+    kernel = _make(profile)
     task = kernel.spawn_task(uid=0, gid=0)
     trace = build_loop_trace(profile=profile)
     program = compile_trace(trace)
@@ -260,8 +283,51 @@ def _setup_trace_replay(profile: str) -> SetupResult:
     return kernel, task, bind
 
 
+def _setup_stat_churn(profile: str) -> SetupResult:
+    """Interleaved stat/rename over overlapping hot paths.
+
+    Each op stats eight warm files, flips a sibling directory with a
+    rename — invalidating every memoized resolution (counter bump on
+    the optimized profiles, ``d_move`` on all three) — then re-stats
+    half the files.  This measures the resolution memo's *invalidation*
+    cost (bulk flush + re-record + re-confirm), not just its steady-
+    state hit rate: a memo that made mutations expensive would show up
+    here, not in ``warm_stat``.
+    """
+    kernel = _make(profile)
+    task = kernel.spawn_task(uid=0, gid=0)
+    kernel.sys.mkdir(task, "/s")
+    kernel.sys.mkdir(task, "/s/hot")
+    for i in range(8):
+        fd = kernel.sys.open(task, f"/s/hot/f{i}", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        kernel.sys.stat(task, f"/s/hot/f{i}")
+    kernel.sys.mkdir(task, "/s/flip0")
+
+    def bind(kernel, task) -> Callable[[], None]:
+        batch = kernel.sys.batch(task)
+        stat, rename = batch.stat, batch.rename
+        paths = [f"/s/hot/f{i}" for i in range(8)]
+        flip = [0]
+
+        def op() -> None:
+            for path in paths:
+                stat(path)
+            src, dst = ("/s/flip0", "/s/flip1") if flip[0] == 0 \
+                else ("/s/flip1", "/s/flip0")
+            flip[0] ^= 1
+            rename(src, dst)
+            for path in paths[::2]:
+                stat(path)
+
+        return op
+
+    return kernel, task, bind
+
+
 BENCHMARKS: List[Tuple[str, Callable[[str], SetupResult], int]] = [
     ("warm_stat", _setup_warm_stat, 10_000),
+    ("stat_churn", _setup_stat_churn, 1_000),
     ("create_unlink", _setup_create_unlink, 1_000),
     ("readdir", _setup_readdir, 100),
     ("rename_inval", _setup_rename_inval, 1_000),
@@ -371,6 +437,42 @@ def print_timing_appendix() -> None:
         n = len(trace.events)
         ms = program.compile_wall_s * 1e3
         print(f"| {profile} | {n} | {ms:.2f} | {ms * 1e3 / n:.2f} |")
+    _print_memo_appendix()
+
+
+def _print_memo_appendix() -> None:
+    """Resolution-memo hit/flush counters over a representative workload.
+
+    Host-side telemetry only (``repro.core.resmemo``): the counters live
+    outside ``Stats`` precisely so the memo cannot perturb golden
+    counters, which is why they are reported here rather than in any
+    virtual-cost table.  The sampled workload is 50 ``stat_churn`` ops
+    (whose per-op rename flips exercise the flush path — each flush
+    discards the whole memo, so the churn phase alone never replays)
+    followed by a warm phase of repeated stats, where entries survive
+    long enough to be confirmed and hit.
+    """
+    print()
+    print("## Resolution-memo counters "
+          "(host-side; stat_churn + warm stats)")
+    print()
+    if not _memo_enabled():
+        print("resolution memo disabled (--memo off / "
+              "REPRO_RESOLUTION_MEMO)")
+        return
+    print("| profile | hits | misses | stale | flushes | entries |")
+    print("|---------|------|--------|-------|---------|---------|")
+    for profile in PROFILES:
+        kernel, task, bind = _setup_stat_churn(profile)
+        op = bind(kernel, task)
+        for _ in range(50):
+            op()
+        for _ in range(4):
+            for i in range(8):
+                kernel.sys.stat(task, f"/s/hot/f{i}")
+        memo = kernel.memo
+        print(f"| {profile} | {memo.hits} | {memo.misses} | {memo.stale} "
+              f"| {memo.flushes} | {len(memo)} |")
 
 
 # -- regression check -----------------------------------------------------
@@ -454,8 +556,13 @@ def main(argv=None) -> int:
                              "(e.g. trace_replay); unknown names are an "
                              "error")
     parser.add_argument("--timing", action="store_true",
-                        help="print a markdown appendix reporting trace "
-                             "compile time separately from execute time")
+                        help="print markdown appendices reporting trace "
+                             "compile time and resolution-memo hit/flush "
+                             "counters separately from execute time")
+    parser.add_argument("--memo", choices=("on", "off"), default=None,
+                        help="enable/disable the resolution memo in every "
+                             "benchmark kernel (default: on; virtual "
+                             "results are identical either way)")
     parser.add_argument("--check", metavar="PYTEST_JSON",
                         help="pytest-benchmark JSON export to check against "
                              "the committed baseline instead of running")
@@ -466,6 +573,10 @@ def main(argv=None) -> int:
                         help="allowed fractional median regression for "
                              "--check (default: %(default)s)")
     args = parser.parse_args(argv)
+
+    if args.memo is not None:
+        # Via the environment so --jobs worker processes inherit it.
+        os.environ["REPRO_RESOLUTION_MEMO"] = args.memo
 
     if args.check:
         return check_regressions(args.check, args.baseline, args.threshold)

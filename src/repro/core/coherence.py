@@ -67,11 +67,18 @@ class Coherence:
         #: descend through mountpoints so a permission change above a
         #: mount invalidates the memoized prefix checks inside it.
         self._mounts_on: dict = {}
+        #: Resolution memo to bulk-flush on invalidation counter bumps
+        #: (set by the kernel when ``DcacheConfig.resolution_memo`` is
+        #: on; see :mod:`repro.core.resmemo`).
+        self.memo = None
 
     # -- cache registry --------------------------------------------------------
 
     def track_pcc(self, pcc) -> None:
         self._pcc_refs.append(weakref.ref(pcc))
+        # A PCC capacity eviction can remove an entry a confirmed memo
+        # recording expects to re-touch; give the PCC a flush handle.
+        pcc.memo = self.memo
 
     def track_dlht(self, dlht) -> None:
         self._dlht_refs.append(weakref.ref(dlht))
@@ -127,6 +134,11 @@ class Coherence:
     def bump_counter(self) -> None:
         self.costs.charge("inval_counter_bump")
         self.counter += 1
+        memo = self.memo
+        if memo is not None:
+            # Bulk memo flush — no per-entry shootdown; every memoized
+            # resolution snapshots the counter, so all are now stale.
+            memo.flush()
 
     # -- shootdowns ----------------------------------------------------------------
 

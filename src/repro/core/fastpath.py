@@ -44,6 +44,20 @@ full-path probe misses but the parent prefix is cached and valid, the
 last component is resolved right here (one ``d_lookup`` or one FS lookup)
 and populated, instead of falling back to a full slowpath walk — this is
 what makes rename/create churn cheap end-to-end, not just mutation-side.
+
+Resolution-memo recording (see :mod:`repro.core.resmemo`)
+---------------------------------------------------------
+
+When the resolution memo records a resolve through this engine, every
+charge flows through ``CostModel.charge``/``charge_in`` and is captured
+by the attached recorder — no explicit hooks here.  The contract this
+module upholds for replayability is that a *steady-state* hit's only
+host-visible side effects are dcache-LRU touches and PCC
+``move_to_end`` reorders (both captured and mirrored on replay);
+anything that populates or rehashes state (DLHT/PCC inserts, stub
+fills, lazy re-arms) makes two consecutive executions observably
+different, which is exactly what keeps such resolutions out of the
+memo's confirmed set.
 """
 
 from __future__ import annotations

@@ -62,6 +62,12 @@ class DcacheConfig:
         signature_bits: stored signature width (paper: 240).
         dcache_capacity: dentry count before LRU shrink.
         boot_seed: signature hash key seed ("random key at boot").
+        resolution_memo: host-side memoization of whole path
+            resolutions with replayed virtual charges — a pure
+            wall-clock optimization of the simulator itself; virtual
+            costs and stats are bit-identical either way (see
+            :mod:`repro.core.resmemo`).
+        resolution_memo_capacity: memo entries before LRU eviction.
     """
 
     name: str = "custom"
@@ -80,6 +86,8 @@ class DcacheConfig:
     index_bits: int = 16
     dcache_capacity: int = 1_000_000
     boot_seed: int = 0x5EED
+    resolution_memo: bool = True
+    resolution_memo_capacity: int = 4096
 
     def variant(self, **changes) -> "DcacheConfig":
         return replace(self, **changes)
@@ -136,6 +144,16 @@ class Kernel:
             self._install_dlht(self.root_ns)
             self._boot_fast_root()
         self.resolver = self.fast if self.fast is not None else self.slow_walk
+        self.memo = None
+        if config.resolution_memo:
+            from repro.core.resmemo import ResolutionMemo
+            self.memo = ResolutionMemo(
+                self.costs, self.stats, self.coherence, self.dcache,
+                self.resolver, capacity=config.resolution_memo_capacity)
+            # Flush hooks: structural dcache mutations and invalidation
+            # counter bumps bulk-invalidate the memo.
+            self.dcache.memo = self.memo
+            self.coherence.memo = self.memo
         self.sweeper = None
         if config.fastpath and config.lazy_invalidation:
             from repro.core.coherence import LazySweeper
@@ -247,6 +265,10 @@ class Kernel:
             mount.fs.drop_caches()
         if dentries:
             self.dcache.drop_all()
+        if self.memo is not None:
+            # Buffer-cache state changed; recorded fs-level charges (if
+            # any slipped through) and future cold costs would diverge.
+            self.memo.flush()
 
 
 def make_kernel(profile: str = "optimized",

@@ -31,7 +31,8 @@ DEFAULT_CAPACITY = 64 * 1024 // 16
 class PrefixCheckCache:
     """One credential's memoized prefix checks."""
 
-    __slots__ = ("costs", "stats", "capacity", "_entries", "__weakref__")
+    __slots__ = ("costs", "stats", "capacity", "_entries", "memo",
+                 "__weakref__")
 
     def __init__(self, costs: CostModel, stats: Stats,
                  capacity: int = DEFAULT_CAPACITY):
@@ -39,6 +40,10 @@ class PrefixCheckCache:
         self.stats = stats
         self.capacity = capacity
         self._entries: "OrderedDict[int, tuple]" = OrderedDict()
+        #: Resolution memo to flush when this PCC sheds entries a
+        #: confirmed recording may expect to re-touch (set by
+        #: ``Coherence.track_pcc``; see :mod:`repro.core.resmemo`).
+        self.memo = None
 
     def probe(self, dentry: Dentry, min_epoch: int = 0) -> bool:
         """True when a valid (seq-current) prefix check is cached.
@@ -69,6 +74,9 @@ class PrefixCheckCache:
             return False
         self._entries.move_to_end(id(dentry))
         self.stats.bump("pcc_hit")
+        rec = self.costs.recorder
+        if rec is not None:
+            rec.pcc.append((self, dentry))
         return True
 
     def insert(self, dentry: Dentry, epoch: int = 0) -> None:
@@ -76,12 +84,19 @@ class PrefixCheckCache:
         self.costs.charge("pcc_insert")
         self._entries[id(dentry)] = (dentry, dentry.seq, epoch)
         self._entries.move_to_end(id(dentry))
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        if len(self._entries) > self.capacity:
+            memo = self.memo
+            if memo is not None:
+                memo.flush()
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def invalidate_all(self) -> None:
         """Flush (sequence-counter wraparound handling, §3.1)."""
         self._entries.clear()
+        memo = self.memo
+        if memo is not None:
+            memo.flush()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,0 +1,412 @@
+"""Resolution memo: seq-validated caching of whole path resolutions.
+
+The paper's central claim (§3.1) is that a repeated full-path lookup
+should cost a constant number of table operations.  The simulator's
+*virtual* costs already reflect that, but its *wall-clock* cost did
+not: every ``stat`` of a hot path re-ran the entire Python resolve
+machinery — split, signature resume, DLHT probe, PCC probe, lazy
+revalidation.  This module memoizes the whole resolution instead.
+
+A memo entry is keyed per namespace by
+
+    ``(ns id, root dentry id, cwd dentry id, cred id,
+       interned path, follow_last, intent_create, create_dir)``
+
+and stores the terminal :class:`~repro.vfs.dentry.PathPos` (or the
+raised :class:`~repro.errors.FsError`), the exact sequence of
+:class:`~repro.sim.costs.CostModel` charge events, the
+:class:`~repro.sim.stats.Stats` counter deltas, and the dcache-LRU /
+PCC touches the resolution performed.  A hit is accepted only after an
+O(1) validity check:
+
+* the global invalidation counter is unchanged (eager profiles bump it
+  on every shootdown) and the lazy epoch high-water mark is unchanged
+  (the lazy profile stamps epochs instead of shooting down), and
+* the per-dentry seqcounts of the start dentry (root or cwd) and the
+  terminal dentry still match the recorded snapshots and neither is
+  dead.
+
+On acceptance the memo *replays* the recorded charges and counter
+deltas through :meth:`CostModel.replay_events`, re-deriving every
+nanosecond figure from the current rate table in the same
+floating-point operation order as the original charges, so virtual
+costs and stats stay bit-identical on all three kernel profiles while
+the Python resolve machinery is skipped entirely.
+
+Correctness protocol — confirm on second identical execution
+------------------------------------------------------------
+
+A first resolution of a path typically *populates* caches (dentry
+allocation, DLHT/PCC inserts, stub fills, lazy re-arms).  Replaying
+such a recording would skip those side effects.  Instead of trying to
+enumerate every populating side effect, the memo stores the first
+recording as *provisional* and only promotes it to *confirmed* —
+eligible for replay — after a second execution under a still-valid
+snapshot reproduces the identical event sequence, stat deltas, touch
+lists, and outcome.  Any cache-populating work makes two consecutive
+executions differ (the second run hits what the first one filled), so
+confirmed recordings are structurally steady-state: their only side
+effects are dcache-LRU reordering and PCC ``move_to_end`` touches,
+both of which are captured and mirrored on replay so eviction victims
+stay identical.
+
+Resolutions that call into the low-level file system (buffer-cache or
+device charges, pseudo-file generation, network RPCs) are never
+memoized: their charges depend on state the memo cannot validate in
+O(1).  The same applies to terminals on ``requires_revalidation``
+file systems (§4.3 network file systems).
+
+Invalidation is a bulk flush — there is no per-entry shootdown.  The
+memo is flushed by ``Coherence.bump_counter`` (all shootdown paths on
+the lazy profile, most on eager), by the dcache structural mutation
+points (``d_alloc``/``d_drop``/``d_move``/``evict``/``make_negative``/
+``make_positive`` — these carry the baseline profile, which has no
+invalidation counter), by PCC capacity evictions, and by the few
+syscalls whose resolution-relevant mutations can elide a counter bump
+(``chmod``/``chown``/label changes/mount table edits).  Flushing too
+often costs only wall-clock, never fidelity.
+
+Snapshots drop the memo: ``__deepcopy__`` returns a fresh empty memo,
+so a restored kernel re-records from its own executions (see
+:mod:`repro.sim.snapshot`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro import errors
+from repro.vfs.mount import PathPos
+
+__all__ = ["ResolutionMemo"]
+
+#: Charge primitives whose presence makes a recording non-memoizable.
+#: They are emitted by the low-level file systems and the simulated
+#: device, so their repetition depends on buffer-cache / server state
+#: the memo's O(1) validity check cannot see.
+_UNMEMOIZABLE_PRIMITIVES = frozenset({
+    "fs_lookup_base",
+    "fs_dirblock_scan",
+    "fs_readdir_entry",
+    "pagecache_hit",
+    "disk_seq_block",
+    "disk_seek",
+    "pseudo_generate",
+    "net_rpc",
+})
+
+
+class _Recording:
+    """Side-channel filled while a resolution runs with recording on.
+
+    ``events`` is appended to by :class:`~repro.sim.costs.CostModel`
+    (every ``charge``/``charge_in``/``charge_ns``), ``lru`` by
+    ``Dcache.d_lookup`` hits, and ``pcc`` by PCC probe hits.
+    """
+
+    __slots__ = ("events", "lru", "pcc")
+
+    def __init__(self) -> None:
+        self.events: List[tuple] = []
+        self.lru: list = []
+        self.pcc: List[tuple] = []
+
+
+class _Entry:
+    """One memoized resolution plus its O(1) validity snapshot."""
+
+    __slots__ = (
+        "outcome_pos",      # terminal PathPos, or None if the walk raised
+        "outcome_exc",      # stored FsError instance, or None
+        "events",           # tuple of CostModel charge events
+        "stat_deltas",      # sorted tuple of (counter name, int delta)
+        "lru_touches",      # dentries whose dcache-LRU slot was refreshed
+        "pcc_touches",      # (pcc, dentry) pairs moved to PCC MRU
+        "counter",          # Coherence.counter at record time
+        "epoch",            # Coherence.epoch at record time
+        "start_dentry",     # root/cwd dentry the walk started from
+        "start_seq",
+        "term_dentry",      # terminal dentry (None for raised outcomes)
+        "term_seq",
+        "refs",             # strong refs pinning every id() in the key
+        "confirmed",        # replayable only after a second identical run
+    )
+
+
+class ResolutionMemo:
+    """Capacity-bounded LRU of whole-path resolutions.
+
+    Constructed by :class:`~repro.core.kernel.Kernel` when
+    ``DcacheConfig.resolution_memo`` is on, and consulted by
+    ``Syscalls._resolve`` for every resolve-bearing entry point
+    (including the ``Syscalls.batch`` fast entries, whose path ops are
+    bound methods of the same facade).
+
+    ``hits``/``misses``/``stale``/``flushes`` are host-side telemetry
+    (surfaced by ``repro-speed --timing``); they deliberately live
+    outside :class:`~repro.sim.stats.Stats` so the memo never perturbs
+    golden counters.
+    """
+
+    __slots__ = (
+        "costs", "stats", "coherence", "dcache", "resolver", "capacity",
+        "_entries", "hits", "misses", "stale", "flushes",
+    )
+
+    def __init__(self, costs, stats, coherence, dcache, resolver,
+                 capacity: int = 4096) -> None:
+        self.costs = costs
+        self.stats = stats
+        self.coherence = coherence
+        self.dcache = dcache
+        self.resolver = resolver
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.flushes = 0
+
+    # ------------------------------------------------------------------
+    # hot path
+
+    def resolve(self, task, path: str, follow_last: bool,
+                intent_create: bool, create_dir: bool) -> PathPos:
+        """Resolve ``path`` for ``task``, replaying a memoized result
+        when the validity snapshot still holds.
+
+        Mirrors the resolver's contract exactly: returns the terminal
+        :class:`PathPos` or raises the recorded :class:`FsError`.
+        """
+        costs = self.costs
+        if costs.recorder is not None:
+            # Re-entrant resolve while another recording is active:
+            # never nest recordings, and never replay into one.
+            return self.resolver.resolve(
+                task, path, follow_last=follow_last,
+                intent_create=intent_create, create_dir=create_dir)
+        key = (id(task.ns), id(task.root.dentry), id(task.cwd.dentry),
+               id(task.cred), path, follow_last, intent_create, create_dir)
+        entries = self._entries
+        entry = entries.get(key)
+        if entry is not None:
+            coh = self.coherence
+            start = (task.root.dentry if path.startswith("/")
+                     else task.cwd.dentry)
+            term = entry.term_dentry
+            if (entry.counter == coh.counter and entry.epoch == coh.epoch
+                    and start is entry.start_dentry and not start.dead
+                    and start.seq == entry.start_seq
+                    and (term is None
+                         or (not term.dead and term.seq == entry.term_seq))):
+                if entry.confirmed:
+                    self.hits += 1
+                    entries.move_to_end(key)
+                    return self._replay(entry)
+                return self._confirm(key, entry, task, path, follow_last,
+                                     intent_create, create_dir)
+            self.stale += 1
+            if entries.get(key) is entry:
+                del entries[key]
+        self.misses += 1
+        return self._record(key, task, path, follow_last, intent_create,
+                            create_dir)
+
+    def _replay(self, entry: _Entry) -> PathPos:
+        """Re-apply a confirmed recording without running the resolver."""
+        self.costs.replay_events(entry.events)
+        counters = self.stats._counters
+        for name, delta in entry.stat_deltas:
+            counters[name] = counters.get(name, 0) + delta
+        lru = self.dcache._lru
+        for dentry in entry.lru_touches:
+            dkey = id(dentry)
+            lru[dkey] = dentry
+            lru.move_to_end(dkey)
+            dentry.in_lru = True
+        for pcc, dentry in entry.pcc_touches:
+            pcc_entries = pcc._entries
+            dkey = id(dentry)
+            if dkey in pcc_entries:
+                pcc_entries.move_to_end(dkey)
+        exc = entry.outcome_exc
+        if exc is not None:
+            raise exc
+        return entry.outcome_pos
+
+    # ------------------------------------------------------------------
+    # record / confirm
+
+    def _run_recorded(self, task, path, follow_last, intent_create,
+                      create_dir):
+        """Run the real resolver with the charge recorder attached."""
+        costs = self.costs
+        stats = self.stats
+        before = dict(stats._counters)
+        rec = _Recording()
+        costs.recorder = rec
+        pos = None
+        exc = None
+        try:
+            pos = self.resolver.resolve(
+                task, path, follow_last=follow_last,
+                intent_create=intent_create, create_dir=create_dir)
+        except errors.FsError as caught:
+            exc = caught
+        finally:
+            costs.recorder = None
+        deltas = []
+        after = stats._counters
+        for name, value in after.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                deltas.append((name, delta))
+        deltas.sort()
+        return pos, exc, rec, tuple(deltas)
+
+    def _memoizable(self, rec: _Recording, pos: Optional[PathPos]) -> bool:
+        unmemoizable = _UNMEMOIZABLE_PRIMITIVES
+        for event in rec.events:
+            if event[1] in unmemoizable:
+                return False
+        if pos is not None and pos.dentry.inode is not None:
+            if pos.dentry.inode.fs.requires_revalidation:
+                return False
+        return True
+
+    def _store(self, key, task, path, pos, exc, rec, deltas) -> None:
+        if not self._memoizable(rec, pos):
+            return
+        entry = _Entry()
+        entry.outcome_pos = pos
+        if exc is not None:
+            # Drop the traceback so the stored instance does not pin
+            # the resolver's frames (and their locals) for the entry's
+            # whole lifetime; each replay re-raise installs a fresh one.
+            exc.__traceback__ = None
+        entry.outcome_exc = exc
+        entry.events = tuple(rec.events)
+        entry.stat_deltas = deltas
+        entry.lru_touches = rec.lru
+        entry.pcc_touches = rec.pcc
+        coh = self.coherence
+        entry.counter = coh.counter
+        entry.epoch = coh.epoch
+        start = task.root.dentry if path.startswith("/") else task.cwd.dentry
+        entry.start_dentry = start
+        entry.start_seq = start.seq
+        term = pos.dentry if pos is not None else None
+        entry.term_dentry = term
+        entry.term_seq = term.seq if term is not None else 0
+        # Strong refs keep every object behind an id() in the key (and
+        # in the touch lists) alive, so ids can never be recycled while
+        # the entry can still match.
+        entry.refs = (task.ns, task.root, task.cwd, task.cred)
+        entry.confirmed = False
+        entries = self._entries
+        entries[key] = entry
+        entries.move_to_end(key)
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def _record(self, key, task, path, follow_last, intent_create,
+                create_dir) -> PathPos:
+        pos, exc, rec, deltas = self._run_recorded(
+            task, path, follow_last, intent_create, create_dir)
+        self._store(key, task, path, pos, exc, rec, deltas)
+        if exc is not None:
+            raise exc
+        return pos
+
+    def _confirm(self, key, entry, task, path, follow_last, intent_create,
+                 create_dir) -> PathPos:
+        """Re-run a provisional entry for real; promote it only if this
+        execution is indistinguishable from the recorded one."""
+        pos, exc, rec, deltas = self._run_recorded(
+            task, path, follow_last, intent_create, create_dir)
+        # The resolve itself may have flushed the memo (e.g. a dcache
+        # eviction while populating); only touch the entry if it is
+        # still the one we validated.
+        if self._entries.get(key) is entry and self._matches(
+                entry, pos, exc, rec, deltas):
+            entry.confirmed = True
+            self._entries.move_to_end(key)
+        else:
+            if self._entries.get(key) is entry:
+                del self._entries[key]
+            self._store(key, task, path, pos, exc, rec, deltas)
+        if exc is not None:
+            raise exc
+        return pos
+
+    @staticmethod
+    def _matches(entry: _Entry, pos, exc, rec: _Recording, deltas) -> bool:
+        if tuple(rec.events) != entry.events:
+            return False
+        if deltas != entry.stat_deltas:
+            return False
+        # Dentry and PCC objects compare by identity (no __eq__), which
+        # is exactly the equality we want for the touch lists.
+        if rec.lru != entry.lru_touches:
+            return False
+        if rec.pcc != entry.pcc_touches:
+            return False
+        old_pos = entry.outcome_pos
+        if (pos is None) != (old_pos is None):
+            return False
+        if pos is not None:
+            if pos.dentry is not old_pos.dentry:
+                return False
+            if pos.mount is not old_pos.mount:
+                return False
+        old_exc = entry.outcome_exc
+        if (exc is None) != (old_exc is None):
+            return False
+        if exc is not None:
+            if type(exc) is not type(old_exc):
+                return False
+            if exc.errno != old_exc.errno:
+                return False
+            if str(exc) != str(old_exc):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # invalidation / accounting
+
+    def flush(self) -> None:
+        """Bulk-invalidate every entry (no per-entry shootdown)."""
+        if self._entries:
+            self._entries.clear()
+            self.flushes += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def event_count(self) -> int:
+        """Total recorded charge events (for memory accounting)."""
+        return sum(len(e.events) for e in self._entries.values())
+
+    def __deepcopy__(self, memo) -> "ResolutionMemo":
+        """Snapshots drop the memo: a clone starts with an empty one.
+
+        Registered in ``memo`` before the constituent references are
+        copied so the dcache→memo and coherence→memo back-edges inside
+        a kernel deepcopy resolve to the fresh instance.
+        """
+        import copy
+        new = ResolutionMemo.__new__(ResolutionMemo)
+        memo[id(self)] = new
+        new.costs = copy.deepcopy(self.costs, memo)
+        new.stats = copy.deepcopy(self.stats, memo)
+        new.coherence = copy.deepcopy(self.coherence, memo)
+        new.dcache = copy.deepcopy(self.dcache, memo)
+        new.resolver = copy.deepcopy(self.resolver, memo)
+        new.capacity = self.capacity
+        new._entries = OrderedDict()
+        new.hits = 0
+        new.misses = 0
+        new.stale = 0
+        new.flushes = 0
+        return new

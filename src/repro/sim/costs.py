@@ -29,6 +29,10 @@ from typing import Dict, Optional, Tuple
 
 from repro.sim.clock import Clock
 
+#: Sentinel marking a recorded :meth:`CostModel.charge_ns` event; the
+#: other event tuples carry a scope label (or ``None``) in that slot.
+_RAW_NS = object()
+
 #: Charges (virtual ns) calibrated against the paper's baseline numbers.
 #: Per-byte entries are suffixed ``_per_byte``; everything else is per call.
 CALIBRATED: Dict[str, float] = {
@@ -145,7 +149,7 @@ class CostModel:
     """
 
     __slots__ = ("charges", "clock", "_scope_stack", "by_scope",
-                 "by_primitive", "counts", "_rates", "_guards")
+                 "by_primitive", "counts", "_rates", "_guards", "recorder")
 
     def __init__(self, charges: Optional[Dict[str, float]] = None,
                  clock: Optional[Clock] = None):
@@ -157,6 +161,9 @@ class CostModel:
         self.counts: Dict[str, int] = {}
         self._guards: Dict[str, _ScopeGuard] = {}
         self._rates: Dict[str, Tuple[float, float]] = {}
+        #: When non-None, every charge appends an event tuple to
+        #: ``recorder.events`` (see :mod:`repro.core.resmemo`).
+        self.recorder = None
         self._rebuild_rates()
 
     def _rebuild_rates(self) -> None:
@@ -211,6 +218,10 @@ class CostModel:
                 by_scope[scope] += ns
             except KeyError:
                 by_scope[scope] = ns
+        rec = self.recorder
+        if rec is not None:
+            rec.events.append(
+                (stack[-1] if stack else None, primitive, times, nbytes))
         return ns
 
     def charge_in(self, scope: str, primitive: str, times: int = 1,
@@ -242,15 +253,62 @@ class CostModel:
             by_scope[scope] += ns
         except KeyError:
             by_scope[scope] = ns
+        rec = self.recorder
+        if rec is not None:
+            rec.events.append((scope, primitive, times, nbytes))
         return ns
 
     def charge_ns(self, scope_hint: str, ns: float) -> None:
         """Charge raw nanoseconds (used for app 'compute' phases)."""
         self.clock.advance(ns)
         self.by_primitive[scope_hint] = self.by_primitive.get(scope_hint, 0.0) + ns
-        if self._scope_stack:
-            scope = self._scope_stack[-1]
+        stack = self._scope_stack
+        if stack:
+            scope = stack[-1]
             self.by_scope[scope] = self.by_scope.get(scope, 0.0) + ns
+        rec = self.recorder
+        if rec is not None:
+            rec.events.append(
+                (_RAW_NS, scope_hint, ns, stack[-1] if stack else None))
+
+    def replay_events(self, events) -> None:
+        """Re-apply a recorded event sequence (see :mod:`repro.core.resmemo`).
+
+        Nanoseconds are re-derived from the *current* rate table using the
+        exact floating-point operation order of :meth:`charge` /
+        :meth:`charge_in`, so replaying is bit-identical to re-running the
+        original charges — including after a :meth:`recalibrate`.
+        """
+        rates = self._rates
+        clock = self.clock
+        by_primitive = self.by_primitive
+        by_scope = self.by_scope
+        counts = self.counts
+        for scope, primitive, times, nbytes in events:
+            if scope is _RAW_NS:
+                # (sentinel, scope_hint, ns, scope at charge time)
+                ns = times
+                clock.advance(ns)
+                by_primitive[primitive] = by_primitive.get(primitive, 0.0) + ns
+                if nbytes is not None:
+                    by_scope[nbytes] = by_scope.get(nbytes, 0.0) + ns
+                continue
+            per_call, per_byte = rates[primitive]
+            ns = per_call * times
+            if nbytes:
+                ns += per_byte * nbytes
+            clock._now_ns = clock._now_ns + ns
+            try:
+                counts[primitive] += times
+                by_primitive[primitive] += ns
+            except KeyError:
+                counts[primitive] = counts.get(primitive, 0) + times
+                by_primitive[primitive] = by_primitive.get(primitive, 0.0) + ns
+            if scope is not None:
+                try:
+                    by_scope[scope] += ns
+                except KeyError:
+                    by_scope[scope] = ns
 
     # -- attribution --------------------------------------------------------
 

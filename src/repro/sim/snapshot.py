@@ -32,6 +32,15 @@ top of a plain ``copy.deepcopy``:
 The capture itself is one clone (detaching the snapshot from the live
 kernel), and each restore is another, so a snapshot can be restored any
 number of times.
+
+The resolution memo (:mod:`repro.core.resmemo`) needs no fixup here: it
+is *dropped* on clone.  ``ResolutionMemo.__deepcopy__`` returns a fresh
+empty memo wired to the copied kernel, because memo entries are keyed
+and validated by CPython object identity and — unlike the tables above —
+are pure host-side wall-clock state: an empty memo re-records from the
+restored kernel's own executions with bit-identical virtual costs, so
+dropping is both the simplest and the provably faithful choice (pinned
+by the snapshot-fidelity cases in ``tests/test_resolution_memo.py``).
 """
 
 from __future__ import annotations

@@ -57,7 +57,7 @@ class Dcache:
     """
 
     __slots__ = ("costs", "stats", "capacity", "hooks", "_hash", "_lru",
-                 "_roots", "_inode_tables", "count")
+                 "_roots", "_inode_tables", "count", "memo")
 
     def __init__(self, costs: CostModel, stats: Stats,
                  capacity: int = 1_000_000,
@@ -71,6 +71,15 @@ class Dcache:
         self._roots: Dict[int, Dentry] = {}
         self._inode_tables: Dict[int, InodeTable] = {}
         self.count = 0
+        #: Resolution memo to bulk-flush on structural mutations (set by
+        #: the kernel; these hooks are what keep the memo safe on the
+        #: baseline profile, which has no invalidation counter).
+        self.memo = None
+
+    def _flush_memo(self) -> None:
+        memo = self.memo
+        if memo is not None:
+            memo.flush()
 
     # -- superblock roots ---------------------------------------------------
 
@@ -105,17 +114,28 @@ class Dcache:
         Charges are attributed straight to the walk's "htlookup" scope
         (the only scope this is called under) via the charge_in fast
         path.
+
+        The probe goes through ``parent.children`` rather than the flat
+        ``_hash`` table: the two are kept in exact bijection for hashed
+        dentries (``d_alloc`` refuses duplicates; ``d_drop``/``d_move``/
+        ``evict`` maintain both), and the per-parent dict avoids
+        allocating a fresh ``(id(parent), name)`` key tuple on the
+        hottest path in the simulator.
         """
-        charge_in = self.costs.charge_in
+        costs = self.costs
+        charge_in = costs.charge_in
         charge_in("htlookup", "ht_probe")
         charge_in("htlookup", "chain_compare")
-        dentry = self._hash.get((id(parent), name))
+        dentry = parent.children.get(name)
         if dentry is not None:
             charge_in("htlookup", "lru_touch")
             lru = self._lru
             lru[id(dentry)] = dentry
             lru.move_to_end(id(dentry))
             dentry.in_lru = True
+            rec = costs.recorder
+            if rec is not None:
+                rec.lru.append(dentry)
         return dentry
 
     def d_alloc(self, parent: Dentry, name: str,
@@ -135,6 +155,7 @@ class Dcache:
         self._hash[key] = dentry
         parent.children[name] = dentry
         self.count += 1
+        self._flush_memo()
         self._touch_lru(dentry)
         # The caller holds a reference to the new dentry (it is about to
         # be returned); the shrink pass must not reclaim it.
@@ -179,6 +200,7 @@ class Dcache:
         dentry.dead = True
         dentry.seq += 1
         self.count -= 1
+        self._flush_memo()
         self.hooks.on_unhash(dentry)
         self.costs.charge("dentry_free")
 
@@ -190,6 +212,7 @@ class Dcache:
         dentry.stub = None
         dentry.neg_kind = kind
         dentry.dir_complete = False
+        self._flush_memo()
         self.hooks.on_make_negative(dentry)
 
     def make_positive(self, dentry: Dentry, inode: Inode) -> None:
@@ -197,6 +220,7 @@ class Dcache:
         dentry.inode = inode
         dentry.stub = None
         dentry.neg_kind = None
+        self._flush_memo()
         self.hooks.on_make_positive(dentry)
 
     # -- rename support ----------------------------------------------------------------
@@ -219,6 +243,7 @@ class Dcache:
         dentry.name = new_name
         self._hash[self._key(new_parent, new_name)] = dentry
         new_parent.children[new_name] = dentry
+        self._flush_memo()
         self.hooks.on_move(dentry, old_parent, old_name)
 
     # -- LRU / shrinking ------------------------------------------------------------
@@ -270,6 +295,7 @@ class Dcache:
         dentry.dead = True
         dentry.seq += 1
         self.count -= 1
+        self._flush_memo()
         self.hooks.on_unhash(dentry)
         self.costs.charge("dentry_free")
 

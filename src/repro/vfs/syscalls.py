@@ -253,6 +253,10 @@ class Syscalls:
         # _enter need not chase kernel attributes per call.
         self._charge = self.costs.charge
         self._sweeper = kernel.sweeper
+        # Resolution memo (None when DcacheConfig.resolution_memo is
+        # off): whole-path resolutions are served by charge replay when
+        # the memo's O(1) validity check passes.
+        self._memo = kernel.memo
 
     # ------------------------------------------------------------------
     # internal helpers
@@ -274,8 +278,33 @@ class Syscalls:
         """
         return SyscallBatch(self, task)
 
-    def _resolve(self, task: Task, path: str, **kw) -> PathPos:
-        return self.kernel.resolver.resolve(task, path, **kw)
+    def _resolve(self, task: Task, path: str, *, follow_last: bool = True,
+                 intent_create: bool = False, create_dir: bool = False,
+                 dirfd_pos: Optional[PathPos] = None) -> PathPos:
+        memo = self._memo
+        if memo is not None and dirfd_pos is None:
+            # dirfd-relative starts bypass the memo: the fd's position
+            # is not part of the key and fds are too transient to pin.
+            return memo.resolve(task, path, follow_last, intent_create,
+                                create_dir)
+        return self.kernel.resolver.resolve(
+            task, path, follow_last=follow_last,
+            intent_create=intent_create, create_dir=create_dir,
+            dirfd_pos=dirfd_pos)
+
+    def _flush_memo(self) -> None:
+        """Bulk-invalidate the resolution memo.
+
+        Called by the few mutating entry points whose resolution-visible
+        effect can bypass both the invalidation counter (the eager
+        profile elides the bump when no fast-side state was hit and no
+        walk is active; the baseline profile has no counter at all) and
+        the dcache structural-mutation hooks (chmod of a regular file
+        mutates no dentry).  Over-flushing costs wall-clock only.
+        """
+        memo = self._memo
+        if memo is not None:
+            memo.flush()
 
     def _dirfd_pos(self, task: Task, dirfd: Optional[int]) -> Optional[PathPos]:
         if dirfd is None:
@@ -747,6 +776,10 @@ class Syscalls:
             self._shoot_subtree(dentry)
         info = inode.fs.setattr(inode.ino, mode=mode)
         inode.apply(info)
+        # Mode bits gate permission checks inside memoized resolutions,
+        # and neither a non-directory chmod nor an elided shootdown
+        # reaches any other flush hook.
+        self._flush_memo()
 
     def chown(self, task: Task, path: str, uid: Optional[int] = None,
               gid: Optional[int] = None) -> None:
@@ -762,6 +795,7 @@ class Syscalls:
             self._shoot_subtree(dentry)
         info = inode.fs.setattr(inode.ino, uid=uid, gid=gid)
         inode.apply(info)
+        self._flush_memo()
 
     def relabel(self, task: Task, path: str, label: Optional[str]) -> None:
         """Set the LSM security label on an inode (e.g. SELinux type).
@@ -796,6 +830,10 @@ class Syscalls:
             self._shoot_single(pos.dentry)
         inode.security = label
         inode.seq += 1
+        # Single chokepoint for every label-changing path (relabel,
+        # setxattr of security.label): labels feed LSM decisions inside
+        # memoized resolutions.
+        self._flush_memo()
 
     def utimes(self, task: Task, path: str, mtime_ns: int) -> None:
         """utimes(2)-style explicit mtime update (owner or root)."""
@@ -934,6 +972,9 @@ class Syscalls:
                       mountpoint=pos.dentry, flags=flags)
         task.ns.add_mount(mount)
         self.kernel.coherence.register_mount(pos.dentry, root_dentry)
+        # Mount table edits redirect memoized resolutions that cross the
+        # mountpoint; no dcache hook or counter bump is guaranteed here.
+        self._flush_memo()
         return mount
 
     def bind_mount(self, task: Task, src: str, dst: str,
@@ -951,6 +992,7 @@ class Syscalls:
                       mountpoint=dstpos.dentry, flags=flags)
         task.ns.add_mount(mount)
         self.kernel.coherence.register_mount(dstpos.dentry, srcpos.dentry)
+        self._flush_memo()
         return mount
 
     def umount(self, task: Task, path: str) -> None:
@@ -968,6 +1010,7 @@ class Syscalls:
         if mount.mountpoint is not None:
             self.kernel.coherence.unregister_mount(mount.mountpoint,
                                                    mount.root_dentry)
+        self._flush_memo()
 
     def unshare_mountns(self, task: Task) -> None:
         """unshare(CLONE_NEWNS): give the task a private mount namespace."""

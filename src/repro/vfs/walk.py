@@ -14,6 +14,14 @@ are charged per primitive under the attribution scopes Figure 3 reports
 The optimized kernel observes the walk through the ``fast`` hook object (a
 :class:`repro.core.fastpath.FastLookup`); the hooks are documented on
 :class:`WalkHooks`.  The baseline kernel passes ``fast=None``.
+
+The resolution memo (:mod:`repro.core.resmemo`) records slowpath
+resolutions transparently via ``CostModel.recorder`` — every per-
+component charge above already goes through ``charge``/``charge_in``,
+and the dcache captures its own LRU touches — so this module needs no
+recording hooks.  Baseline-profile memo safety rests on the dcache
+structural-mutation flushes, since the baseline never bumps the
+invalidation counter.
 """
 
 from __future__ import annotations

