@@ -140,6 +140,23 @@ def test_stat_churn_wallclock(benchmark, profile):
 
 @pytest.mark.parametrize("profile",
                          ["baseline", "optimized", "optimized-lazy"])
+def test_snapshot_restore_wallclock(benchmark, profile):
+    """Warm-kernel snapshot restore — the engine's per-rep primitive.
+
+    With the struct-of-arrays dcache core, most per-dentry scalars live
+    in arena columns that restore as one C-level array copy each; this
+    cell gates that bulk-copy path directly.
+    """
+    from repro.sim.snapshot import KernelSnapshot
+    kernel = make_kernel(profile)
+    task = lmbench.prepare_lookup_tree(kernel)
+    kernel.sys.stat(task, lmbench.LONG_PATH)
+    snap = KernelSnapshot(kernel, task)
+    benchmark(snap.restore)
+
+
+@pytest.mark.parametrize("profile",
+                         ["baseline", "optimized", "optimized-lazy"])
 def test_trace_replay_wallclock(benchmark, profile):
     """Compiled replay of the self-undoing fd-heavy loop trace.
 

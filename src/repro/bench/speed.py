@@ -21,17 +21,20 @@ Modes:
 
 ``repro-speed [--output BENCH_simspeed.json] [--jobs N] [--memo on|off]``
     Run the benchmark loops (warm stat, stat/rename churn,
-    create/unlink, readdir, rename-invalidation, rename-churn, and
-    compiled trace replay on all three kernel profiles) and write
-    median microseconds-per-operation to a JSON file.  The committed
-    ``BENCH_simspeed.json`` at the repo root is generated this way.
-    ``--only name,name`` restricts the run (unknown names exit 2);
-    ``--timing`` appends markdown tables reporting trace **compile**
-    time and resolution-memo hit/flush counters separately from the
-    executed op/s numbers (the ``trace_replay`` cell times execution
-    only).  ``--memo off`` disables the resolution memo
-    (:mod:`repro.core.resmemo`) in every benchmark kernel — virtual
-    results are bit-identical either way; only wall-clock moves.
+    create/unlink, readdir, rename-invalidation, rename-churn,
+    compiled trace replay, and warm snapshot restore on all three
+    kernel profiles) and write median microseconds-per-operation to a
+    JSON file.  The committed ``BENCH_simspeed.json`` at the repo root
+    is generated this way.  ``--only name,name`` restricts the run
+    (unknown names exit 2); ``--timing`` appends markdown tables
+    reporting trace **compile** time and resolution-memo hit/flush
+    counters separately from the executed op/s numbers (the
+    ``trace_replay`` cell times execution only).  ``--memo off``
+    disables the resolution memo (:mod:`repro.core.resmemo`) in every
+    benchmark kernel — virtual results are bit-identical either way;
+    only wall-clock moves.  ``--cprofile`` reruns each cell once under
+    :mod:`cProfile` after timing it and dumps the top-20 functions by
+    cumulative time to stderr, without perturbing the timed medians.
 
 ``repro-speed --virtual [--jobs N]``
     Record *virtual* nanoseconds per op instead of wall-clock
@@ -51,8 +54,10 @@ Modes:
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import os
+import pstats
 import statistics
 import sys
 import time
@@ -83,6 +88,12 @@ def _memo_enabled() -> bool:
 def _make(profile: str):
     """Benchmark kernel honouring the ``--memo`` switch."""
     return make_kernel(profile, resolution_memo=_memo_enabled())
+
+
+def _cprofile_enabled() -> bool:
+    """Per-cell cProfile switch (``--cprofile``); env-carried for --jobs."""
+    return os.environ.get("REPRO_CPROFILE", "").lower() \
+        in ("1", "on", "true", "yes")
 
 #: pytest-benchmark test name -> result key in BENCH_simspeed.json.
 #: Used by ``--check`` to line CI benchmark runs up with the committed
@@ -115,6 +126,11 @@ PYTEST_NAME_MAP = {
     "test_stat_churn_wallclock[baseline]": "stat_churn[baseline]",
     "test_stat_churn_wallclock[optimized]": "stat_churn[optimized]",
     "test_stat_churn_wallclock[optimized-lazy]": "stat_churn[optimized-lazy]",
+    "test_snapshot_restore_wallclock[baseline]": "snapshot_restore[baseline]",
+    "test_snapshot_restore_wallclock[optimized]":
+        "snapshot_restore[optimized]",
+    "test_snapshot_restore_wallclock[optimized-lazy]":
+        "snapshot_restore[optimized-lazy]",
 }
 
 
@@ -325,6 +341,32 @@ def _setup_stat_churn(profile: str) -> SetupResult:
     return kernel, task, bind
 
 
+def _setup_snapshot_restore(profile: str) -> SetupResult:
+    """Snapshot restore of a warm lookup-tree kernel.
+
+    The op is ``KernelSnapshot.restore()`` itself — the same primitive
+    every other cell performs once per repetition *outside* its timed
+    loop, and the process-parallel experiment engine performs per
+    worker.  With the struct-of-arrays dcache core, most per-dentry
+    state rides in :class:`~repro.core.arena.DentryArena` columns that
+    restore as one C-level array copy each, so this cell is where that
+    bulk-copy win is measured (and gated) directly.
+    """
+    kernel = _make(profile)
+    task = lmbench.prepare_lookup_tree(kernel)
+    kernel.sys.stat(task, lmbench.LONG_PATH)  # warm the caches first
+
+    def bind(kernel, task) -> Callable[[], None]:
+        snap = KernelSnapshot(kernel, task)
+
+        def op() -> None:
+            snap.restore()
+
+        return op
+
+    return kernel, task, bind
+
+
 BENCHMARKS: List[Tuple[str, Callable[[str], SetupResult], int]] = [
     ("warm_stat", _setup_warm_stat, 10_000),
     ("stat_churn", _setup_stat_churn, 1_000),
@@ -333,6 +375,7 @@ BENCHMARKS: List[Tuple[str, Callable[[str], SetupResult], int]] = [
     ("rename_inval", _setup_rename_inval, 1_000),
     ("rename_churn", _setup_rename_churn, 500),
     ("trace_replay", _setup_trace_replay, 25),
+    ("snapshot_restore", _setup_snapshot_restore, 200),
 ]
 
 _BENCH_BY_NAME = {name: (setup, n) for name, setup, n in BENCHMARKS}
@@ -373,13 +416,39 @@ def _measure_virtual(setup: Callable[[str], SetupResult], profile: str,
     return (rep_kernel.costs.now_ns - start) / n
 
 
+def _profile_cell(bench_name: str, profile: str,
+                  setup: Callable[[str], SetupResult], n: int) -> None:
+    """Dump a cProfile top-20 for one cell's op loop to stderr.
+
+    Profiling runs on a *separate* warm-restored kernel after the timed
+    measurement, so interpreter tracing overhead never contaminates the
+    reported medians — the profile explains the numbers, it is not part
+    of them.
+    """
+    kernel, task, bind = setup(profile)
+    rep_kernel, rep_task = KernelSnapshot(kernel, task).restore()
+    op = bind(rep_kernel, rep_task)
+    prof = cProfile.Profile()
+    prof.enable()
+    for _ in range(n):
+        op()
+    prof.disable()
+    print(f"\n-- cProfile {bench_name}[{profile}] "
+          f"({n} ops, top 20 by cumulative time) --", file=sys.stderr)
+    pstats.Stats(prof, stream=sys.stderr).sort_stats("cumulative") \
+        .print_stats(20)
+
+
 def measure_cell(bench_name: str, profile: str, iters: int, reps: int,
                  virtual: bool = False) -> float:
     """One (benchmark, profile) matrix cell — the parallel work unit."""
     setup, _default_n = _BENCH_BY_NAME[bench_name]
     if virtual:
         return round(_measure_virtual(setup, profile, iters), 3)
-    return round(_measure(setup, profile, iters, reps), 3)
+    value = round(_measure(setup, profile, iters, reps), 3)
+    if _cprofile_enabled():
+        _profile_cell(bench_name, profile, setup, iters)
+    return value
 
 
 def run_benchmarks(scale: float = 1.0, reps: int = 3, jobs: int = 1,
@@ -555,6 +624,11 @@ def main(argv=None) -> int:
                         help="comma-separated benchmark names to run "
                              "(e.g. trace_replay); unknown names are an "
                              "error")
+    parser.add_argument("--cprofile", action="store_true",
+                        help="after timing each cell, run one profiled "
+                             "pass and dump its cProfile top-20 (by "
+                             "cumulative time) to stderr; timed medians "
+                             "are unaffected")
     parser.add_argument("--timing", action="store_true",
                         help="print markdown appendices reporting trace "
                              "compile time and resolution-memo hit/flush "
@@ -577,6 +651,8 @@ def main(argv=None) -> int:
     if args.memo is not None:
         # Via the environment so --jobs worker processes inherit it.
         os.environ["REPRO_RESOLUTION_MEMO"] = args.memo
+    if args.cprofile:
+        os.environ["REPRO_CPROFILE"] = "1"
 
     if args.check:
         return check_regressions(args.check, args.baseline, args.threshold)

@@ -1,0 +1,228 @@
+"""Struct-of-arrays storage for the dcache's hot per-dentry scalars.
+
+Python objects pay an attribute-dictionary (or slot-descriptor) load for
+every field touch, and a deep copy of a warm tree pays it again for every
+field of every dentry.  *Reconstruct the Directories for In-Memory File
+Systems* makes the same observation about pointer-chasing directory
+structures and flattens them into contiguous arrays; this module does the
+equivalent for the simulator: one :class:`DentryArena` per
+:class:`~repro.vfs.dcache.Dcache` owns parallel flat ``array('q')``
+columns — sequence counters, lazy epoch stamps, pin counts, child-eviction
+counters, a flags word, interned-name indices, parent handles, and a
+stable ident — indexed by small integer *handles*.
+
+:class:`~repro.vfs.dentry.Dentry` remains as the compatibility view:
+cold paths and tests keep reading ``dentry.seq`` etc. through properties,
+while hot loops (lazy ancestor revalidation in
+:mod:`repro.core.fastpath`, memo validity checks in
+:mod:`repro.core.resmemo`, coherence shootdowns) bind a column once and
+index it by handle — and bulk operations become array operations:
+
+* snapshot/restore (:mod:`repro.sim.snapshot`) copies each column with
+  one C-level ``array(column)`` memcpy instead of re-copying per-object
+  attributes (:meth:`DentryArena.__deepcopy__`);
+* memory accounting (:mod:`repro.sim.memory`) reads real footprints off
+  ``buffer_info()`` instead of per-object estimates.
+
+Handle lifecycle
+----------------
+
+``alloc`` hands out the lowest-water free slot (LIFO reuse off
+``_free``), ``retire`` returns a slot to the free list when its dentry
+leaves the cache (``d_drop``/``evict``).  Retirement *materializes* the
+scalars into the view object first and drops the view's handle to ``-1``,
+so a dead dentry still answers ``.seq``/``.pin_count`` reads (PCC
+entries, open files on unlinked paths) without pinning the slot — the
+slot can be re-issued to the next allocation immediately, and reuse is
+deterministic (no GC dependence).  ``compact`` trims trailing free slots
+so a tree that shrank gives its column memory back.
+
+Names are interned in a per-arena table (``name_id`` column); the table
+only grows — a name, once seen, stays interned for the arena's lifetime,
+which keeps ``name_id`` values stable under rename churn.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List
+
+__all__ = ["DentryArena", "FLAG_MOUNTPOINT", "FLAG_DIR_COMPLETE"]
+
+#: Bits of the ``flags`` column.
+FLAG_MOUNTPOINT = 1
+FLAG_DIR_COMPLETE = 2
+
+#: ``parent`` column value for detached / superblock-root dentries.
+NO_PARENT = -1
+
+
+class DentryArena:
+    """Parallel flat columns of hot per-dentry scalars, keyed by handle."""
+
+    __slots__ = ("seq", "epoch", "pin", "childev", "flags", "name_id",
+                 "parent", "ident", "_free", "_names", "_name_ids",
+                 "_next_ident", "live")
+
+    #: Column names copied wholesale by snapshots (all ``array('q')``).
+    COLUMNS = ("seq", "epoch", "pin", "childev", "flags", "name_id",
+               "parent", "ident")
+
+    def __init__(self) -> None:
+        self.seq = array("q")
+        self.epoch = array("q")
+        self.pin = array("q")
+        self.childev = array("q")
+        self.flags = array("q")
+        self.name_id = array("q")
+        self.parent = array("q")
+        #: Monotonic allocation stamp: unlike the handle (recycled) and
+        #: ``id()`` (a heap address), ``ident[h]`` is unique across the
+        #: arena's whole history — differential tests key on it.
+        self.ident = array("q")
+        self._free: List[int] = []
+        self._names: List[str] = []
+        self._name_ids: dict = {}
+        self._next_ident = 0
+        #: Live (allocated, unreleased) handle count.
+        self.live = 0
+
+    # -- names --------------------------------------------------------------
+
+    def intern_name(self, name: str) -> int:
+        """Index of ``name`` in the arena's interned-name table."""
+        nid = self._name_ids.get(name)
+        if nid is None:
+            nid = len(self._names)
+            self._names.append(name)
+            self._name_ids[name] = nid
+        return nid
+
+    def name_of(self, handle: int) -> str:
+        return self._names[self.name_id[handle]]
+
+    # -- handle lifecycle ---------------------------------------------------
+
+    def alloc(self, name: str, parent_handle: int) -> int:
+        """Allocate a zeroed slot for a new dentry; returns its handle."""
+        ident = self._next_ident
+        self._next_ident = ident + 1
+        nid = self.intern_name(name)
+        self.live += 1
+        free = self._free
+        if free:
+            h = free.pop()
+            self.seq[h] = 0
+            self.epoch[h] = 0
+            self.pin[h] = 0
+            self.childev[h] = 0
+            self.flags[h] = 0
+            self.name_id[h] = nid
+            self.parent[h] = parent_handle
+            self.ident[h] = ident
+            return h
+        h = len(self.seq)
+        self.seq.append(0)
+        self.epoch.append(0)
+        self.pin.append(0)
+        self.childev.append(0)
+        self.flags.append(0)
+        self.name_id.append(nid)
+        self.parent.append(parent_handle)
+        self.ident.append(ident)
+        return h
+
+    def retire(self, handle: int) -> None:
+        """Return ``handle``'s slot to the free list (deterministic LIFO).
+
+        The caller (the :class:`~repro.vfs.dentry.Dentry` view) must have
+        materialized the scalars it still needs *before* retiring — the
+        slot may be re-issued by the very next :meth:`alloc`.
+        """
+        self.live -= 1
+        self.parent[handle] = NO_PARENT
+        self._free.append(handle)
+
+    def compact(self) -> int:
+        """Trim trailing free slots off every column; returns slots freed.
+
+        Only the tail can be reclaimed (interior handles must stay
+        stable), so this is cheap and safe to call at any quiesce point.
+        """
+        free = set(self._free)
+        top = len(self.seq)
+        while top > 0 and (top - 1) in free:
+            top -= 1
+            free.remove(top)
+        trimmed = len(self.seq) - top
+        if trimmed:
+            self._free = sorted(free)
+            for column in self.COLUMNS:
+                arr = getattr(self, column)
+                del arr[top:]
+        return trimmed
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Allocated capacity in slots (live + free, pre-compaction)."""
+        return len(self.seq)
+
+    def footprint_bytes(self) -> int:
+        """Actual bytes behind the columns and the interned-name table.
+
+        Columns are priced off ``array.buffer_info()`` (allocated
+        element count times item size — the real buffer, not just the
+        used prefix is not visible, so length*itemsize is the honest
+        lower bound CPython exposes); the name table is priced as one
+        pointer per interned string plus the string bodies.
+        """
+        total = 0
+        for column in self.COLUMNS:
+            arr = getattr(self, column)
+            _addr, nitems = arr.buffer_info()
+            total += nitems * arr.itemsize
+        total += 8 * len(self._names)
+        total += sum(49 + len(s) for s in self._names)  # CPython ASCII str
+        total += 8 * len(self._free)
+        return total
+
+    # -- snapshots ----------------------------------------------------------
+
+    def __deepcopy__(self, memo: dict) -> "DentryArena":
+        """Bulk array copy: each column is one C-level memcpy.
+
+        Every copied column is registered in ``memo`` under the original
+        column's id, so any other structure that bound a column directly
+        (hot loops hold references to e.g. ``arena.seq``) resolves to the
+        same copy during the surrounding kernel deepcopy — and vice
+        versa, a column that was already copied is reused rather than
+        duplicated.
+        """
+        new = DentryArena.__new__(DentryArena)
+        memo[id(self)] = new
+        for column in self.COLUMNS:
+            arr = getattr(self, column)
+            copied = memo.get(id(arr))
+            if copied is None:
+                copied = array("q", arr)
+                memo[id(arr)] = copied
+            setattr(new, column, copied)
+        new._free = list(self._free)
+        new._names = list(self._names)
+        new._name_ids = dict(self._name_ids)
+        new._next_ident = self._next_ident
+        new.live = self.live
+        return new
+
+
+#: Fallback arena for dentries constructed outside any dcache (tests,
+#: ad-hoc structures).  Dcache-owned dentries always use their cache's
+#: arena — allocating from the parent's arena keeps one tree in one
+#: arena.
+_DEFAULT_ARENA = DentryArena()
+
+
+def default_arena() -> DentryArena:
+    """The process-wide fallback arena for cache-less dentries."""
+    return _DEFAULT_ARENA

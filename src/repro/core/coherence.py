@@ -145,8 +145,17 @@ class Coherence:
     def _invalidate_one(self, dentry: Dentry) -> None:
         self.costs.charge("inval_per_dentry")
         self.stats.bump("inval_dentry")
-        dentry.seq += 1
-        if dentry.seq >= SEQ_WRAP:
+        # Eager shootdowns touch every cached descendant; bump the seq
+        # on the arena column directly instead of through the property.
+        h = dentry.h
+        if h >= 0:
+            seqarr = dentry.arena.seq
+            seq = seqarr[h] + 1
+            seqarr[h] = seq
+        else:
+            seq = dentry.seq + 1
+            dentry.seq = seq
+        if seq >= SEQ_WRAP:
             self.wraparound_flush()
         fast = dentry.fast
         if fast is not None:
@@ -167,10 +176,20 @@ class Coherence:
         """
         self.costs.charge("epoch_bump")
         self.stats.bump("lazy_epoch_bump")
-        self.epoch += 1
-        dentry.epoch = self.epoch
-        dentry.seq += 1
-        if dentry.seq >= SEQ_WRAP:
+        epoch = self.epoch + 1
+        self.epoch = epoch
+        h = dentry.h
+        if h >= 0:
+            arena = dentry.arena
+            arena.epoch[h] = epoch
+            seqarr = arena.seq
+            seq = seqarr[h] + 1
+            seqarr[h] = seq
+        else:
+            dentry.epoch = epoch
+            seq = dentry.seq + 1
+            dentry.seq = seq
+        if seq >= SEQ_WRAP:
             self.wraparound_flush()
 
     def shootdown_single(self, dentry: Dentry) -> None:
@@ -326,7 +345,8 @@ class LazySweeper:
                 if entry is None:
                     continue
                 dentry, seq, _epoch = entry
-                if dentry.dead or dentry.seq != seq:
+                h = dentry.h  # retired handle <=> dead dentry
+                if h < 0 or dentry.arena.seq[h] != seq:
                     del pcc._entries[entry_id]
                     self.coherence.stats.bump("sweep_discard")
 

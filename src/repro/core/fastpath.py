@@ -67,6 +67,7 @@ from typing import List, Optional, Tuple
 from repro import errors
 from repro.core.coherence import Coherence
 from repro.core.fastdentry import fast_of
+from repro.core.arena import FLAG_MOUNTPOINT
 from repro.core.negative import extend_negative_chain
 from repro.core.pcc import PrefixCheckCache
 from repro.core.signatures import PathHasher, SigState
@@ -133,6 +134,12 @@ class FastLookup(WalkHooks):
         self.coherence = coherence
         self.slow = slow
         self.lazy = bool(config.lazy_invalidation)
+        # Every dentry this kernel walks lives in the dcache's arena (a
+        # child is allocated from its parent's arena, roots from the
+        # cache's), so the lazy chain walks below bind these columns once
+        # and index them by dentry handle — no per-hop property calls.
+        self._epochs = dcache.arena.epoch
+        self._flagsarr = dcache.arena.flags
         slow.hooks = self
         # Hashing already charged by a failed fastpath attempt is reusable
         # by the population hooks of the fallback slowpath (the hash state
@@ -453,14 +460,18 @@ class FastLookup(WalkHooks):
         high = 0
         hops = 0
         cur = pos
+        epochs = self._epochs
+        root_mount = ns.root_mount
+        root_dentry = root_mount.root_dentry
         for _ in range(vfspath.PATH_MAX):
             d = cur.dentry
-            if d.dead:
+            h = d.h
+            if h < 0:  # retired handle <=> dead dentry
                 return None, 0
-            if d.epoch > high:
-                high = d.epoch
-            if cur.mount is ns.root_mount \
-                    and d is ns.root_mount.root_dentry:
+            e = epochs[h]
+            if e > high:
+                high = e
+            if cur.mount is root_mount and d is root_dentry:
                 break
             if d is cur.mount.root_dentry:
                 if cur.mount.parent is None:
@@ -468,10 +479,11 @@ class FastLookup(WalkHooks):
                 cur = PathPos(cur.mount.parent, cur.mount.mountpoint)
                 hops += 1
                 continue
-            if d.parent is None:
+            parent = d.parent
+            if parent is None:
                 return None, 0
             names.append(d.name)
-            cur = PathPos(cur.mount, d.parent)
+            cur = PathPos(cur.mount, parent)
             hops += 1
         else:
             return None, 0
@@ -515,13 +527,19 @@ class FastLookup(WalkHooks):
         hops = 0
         reverify_ok = True
         skip_perm = False  # set when we just hopped onto a mountpoint
+        epochs = self._epochs
+        flagsarr = self._flagsarr
+        mount_at = ns.mount_at
+        root_mount = ns.root_mount
+        root_dentry = root_mount.root_dentry
         for _ in range(vfspath.PATH_MAX):
-            if cur.dead:
+            h = cur.h
+            if h < 0:  # retired handle <=> dead dentry
                 return None
-            if cur.epoch > high:
-                high = cur.epoch
-            if cur_mount is ns.root_mount \
-                    and cur is ns.root_mount.root_dentry:
+            e = epochs[h]
+            if e > high:
+                high = e
+            if cur_mount is root_mount and cur is root_dentry:
                 if cur is not dentry:
                     perm_nodes.append(cur)
                 self._charge_chain(hops)
@@ -532,7 +550,7 @@ class FastLookup(WalkHooks):
                 if parent_mount is None:
                     return None  # detached mount
                 mountpoint = cur_mount.mountpoint
-                if ns.mount_at(parent_mount, mountpoint) is not cur_mount:
+                if mount_at(parent_mount, mountpoint) is not cur_mount:
                     return None  # the mount is gone from this namespace
                 if cur is not dentry:
                     perm_nodes.append(cur)  # mounted root is search-checked
@@ -547,18 +565,23 @@ class FastLookup(WalkHooks):
                 if skip_perm:
                     skip_perm = False
                 else:
-                    if cur.is_mountpoint \
-                            and ns.mount_at(cur_mount, cur) is not None:
+                    if (flagsarr[h] & FLAG_MOUNTPOINT) \
+                            and mount_at(cur_mount, cur) is not None:
                         return None  # a mount now shadows this prefix
-                    if (cur.is_dir and not cur.is_negative
-                            and not cur.is_alias and not cur.is_stub):
+                    # Plain cached directory <=> a dir inode with no
+                    # alias/stub overlay (negatives have no inode).
+                    ino = cur.inode
+                    if (ino is not None and ino.is_dir
+                            and cur.alias_target is None
+                            and cur.stub is None):
                         perm_nodes.append(cur)
                     else:
                         reverify_ok = False
-            if cur.parent is None:
+            parent = cur.parent
+            if parent is None:
                 return None
             names.append(cur.name)
-            cur = cur.parent
+            cur = parent
             hops += 1
         return None
 
@@ -584,17 +607,26 @@ class FastLookup(WalkHooks):
         perm_nodes: List[Dentry] = []
         reverify_ok = True
         cur = dentry
+        epochs = self._epochs
+        flagsarr = self._flagsarr
+        mount_at = ns.mount_at
         for idx in range(len(names) - 1, -1, -1):
-            if cur.dead or cur.name != names[idx]:
+            h = cur.h
+            # A retired handle (h < 0) <=> a dead dentry.
+            if h < 0 or cur.name != names[idx]:
                 return False
-            if cur.epoch > high:
-                high = cur.epoch
+            e = epochs[h]
+            if e > high:
+                high = e
             if cur is not dentry:
-                if cur.is_mountpoint \
-                        and ns.mount_at(anchor_mount, cur) is not None:
+                if (flagsarr[h] & FLAG_MOUNTPOINT) \
+                        and mount_at(anchor_mount, cur) is not None:
                     return False  # a mount now shadows this prefix
-                if (cur.is_dir and not cur.is_negative
-                        and not cur.is_alias and not cur.is_stub):
+                # Plain cached directory <=> a dir inode with no
+                # alias/stub overlay (negatives have no inode).
+                ino = cur.inode
+                if (ino is not None and ino.is_dir
+                        and cur.alias_target is None and cur.stub is None):
                     perm_nodes.append(cur)
                 else:
                     reverify_ok = False
@@ -603,11 +635,14 @@ class FastLookup(WalkHooks):
                 return None  # crossed an fs boundary: full walk needed
         if cur is not anchor:
             return False
-        if cur.epoch > high:
-            high = cur.epoch
+        ah = cur.h
+        e = epochs[ah] if ah >= 0 else cur.epoch
+        if e > high:
+            high = e
         # The walk search-checks the anchor (start directory) too.
-        if (cur.is_dir and not cur.is_negative
-                and not cur.is_alias and not cur.is_stub):
+        ino = cur.inode
+        if (ino is not None and ino.is_dir
+                and cur.alias_target is None and cur.stub is None):
             perm_nodes.append(cur)
         else:
             reverify_ok = False
@@ -704,7 +739,9 @@ class FastLookup(WalkHooks):
                 dlht.insert(dentry, fsig)  # promotes the key to primary
                 self.stats.bump("lazy_refresh")
         fast.epoch_snapshot = gepoch
-        if dentry.is_mountpoint \
+        dh = dentry.h
+        if (self._flagsarr[dh] & FLAG_MOUNTPOINT if dh >= 0
+                else dentry.is_mountpoint) \
                 and ns.mount_at(fast.mount, dentry) is not None:
             # The path is right but now resolves into a mounted fs; the
             # slowpath will repopulate the key with the mounted root.
@@ -747,9 +784,9 @@ class FastLookup(WalkHooks):
                          intent_create: bool, create_dir: bool,
                          anchor=None):
         result = found
-        if found.is_alias:
-            target = found.alias_target
-            if target is None or target.dead:
+        target = found.alias_target
+        if target is not None:  # alias hit
+            if target.h < 0:  # retired handle <=> dead dentry
                 return None
             verdict = self._validate_hit(task, ns, pcc, found, sig,
                                          anchor=anchor)
@@ -764,7 +801,7 @@ class FastLookup(WalkHooks):
             if tv is None or tv is _RETRY_COMPLETE:
                 return None
             result = target
-        elif found.is_stub:
+        elif found.inode is None and found.stub is not None:  # stub hit
             return None
         else:
             verdict = self._validate_hit(task, ns, pcc, found, sig,
@@ -773,15 +810,18 @@ class FastLookup(WalkHooks):
                 return None
             if verdict is _RETRY_COMPLETE:
                 return _RETRY_COMPLETE
-        if result.is_symlink and (follow_last or must_dir):
+        ino = result.inode
+        if ino is not None and ino.is_symlink and (follow_last or must_dir):
             resolved = self._follow_cached_link(task, pcc, result)
             if resolved is None:
                 return None
             result = resolved
+            ino = result.inode
         if self.config.force_fastpath_miss:
             # Fig 6 worst case: full fastpath work, forced fallback.
             return None
-        if result.is_negative:
+        if ino is None and result.stub is None \
+                and result.alias_target is None:  # negative hit
             return self._negative_hit(result, path_hint,
                                       must_dir=must_dir,
                                       intent_create=intent_create,

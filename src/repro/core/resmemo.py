@@ -131,6 +131,8 @@ class _Entry:
         "term_seq",
         "refs",             # strong refs pinning every id() in the key
         "confirmed",        # replayable only after a second identical run
+        "compiled",         # lazy (rates_version, rows, counts, lru, pcc, fn)
+        "replays",          # replay count (gates exec-compilation)
     )
 
 
@@ -151,8 +153,17 @@ class ResolutionMemo:
 
     __slots__ = (
         "costs", "stats", "coherence", "dcache", "resolver", "capacity",
-        "_entries", "hits", "misses", "stale", "flushes",
+        "_entries", "_seqarr", "_miss_score", "hits", "misses", "stale",
+        "flushes",
     )
+
+    #: Consecutive misses of one key before its resolutions are worth
+    #: recording (see :meth:`resolve`).
+    _RECORD_AFTER = 1
+
+    #: Interpreted replays before an entry's charge sequence is
+    #: exec-compiled into straight-line code (see ``_replay``).
+    _EXEC_AFTER = 3
 
     def __init__(self, costs, stats, coherence, dcache, resolver,
                  capacity: int = 4096) -> None:
@@ -163,6 +174,15 @@ class ResolutionMemo:
         self.resolver = resolver
         self.capacity = capacity
         self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        #: The dcache arena's seq column, bound once: entry validation
+        #: indexes it by dentry handle instead of chasing attributes
+        #: (every dentry a resolution can touch is allocated from the
+        #: kernel dcache's single arena, and arena columns are mutated
+        #: only in place, so the binding stays valid for this kernel's
+        #: lifetime).
+        self._seqarr = dcache.arena.seq
+        #: Per-key miss streaks surviving flushes (see :meth:`resolve`).
+        self._miss_score: dict = {}
         self.hits = 0
         self.misses = 0
         self.stale = 0
@@ -186,54 +206,123 @@ class ResolutionMemo:
             return self.resolver.resolve(
                 task, path, follow_last=follow_last,
                 intent_create=intent_create, create_dir=create_dir)
-        key = (id(task.ns), id(task.root.dentry), id(task.cwd.dentry),
+        root_dentry = task.root.dentry
+        cwd_dentry = task.cwd.dentry
+        key = (id(task.ns), id(root_dentry), id(cwd_dentry),
                id(task.cred), path, follow_last, intent_create, create_dir)
         entries = self._entries
         entry = entries.get(key)
         if entry is not None:
             coh = self.coherence
-            start = (task.root.dentry if path.startswith("/")
-                     else task.cwd.dentry)
+            start = root_dentry if path.startswith("/") else cwd_dentry
             term = entry.term_dentry
+            # Liveness + seq checks go through the arena: a retired
+            # (dead) dentry has handle -1, and the seq column is indexed
+            # directly instead of loading dentry attributes.
+            seqarr = self._seqarr
+            sh = start.h
             if (entry.counter == coh.counter and entry.epoch == coh.epoch
-                    and start is entry.start_dentry and not start.dead
-                    and start.seq == entry.start_seq
-                    and (term is None
-                         or (not term.dead and term.seq == entry.term_seq))):
-                if entry.confirmed:
-                    self.hits += 1
-                    entries.move_to_end(key)
-                    return self._replay(entry)
-                return self._confirm(key, entry, task, path, follow_last,
-                                     intent_create, create_dir)
+                    and start is entry.start_dentry and sh >= 0
+                    and seqarr[sh] == entry.start_seq):
+                if term is None:
+                    term_ok = True
+                else:
+                    th = term.h
+                    term_ok = th >= 0 and seqarr[th] == entry.term_seq
+                if term_ok:
+                    if entry.confirmed:
+                        self.hits += 1
+                        entries.move_to_end(key)
+                        return self._replay(entry)
+                    return self._confirm(key, entry, task, path, follow_last,
+                                         intent_create, create_dir)
             self.stale += 1
             if entries.get(key) is entry:
                 del entries[key]
         self.misses += 1
+        # Record-worthiness gate: recording costs real wall-clock (the
+        # attached recorder, the stats diff, the store+match machinery),
+        # and in mutation-heavy phases every recording is flushed before
+        # it can confirm — pure waste.  A key must miss _RECORD_AFTER
+        # times before its resolutions are recorded; the streak counter
+        # survives flushes (it carries no validity state), and recording
+        # resets it so a key whose recordings never confirm only pays
+        # for one recording every _RECORD_AFTER + 1 misses.  Virtual
+        # charges are identical either way — the gate only defers when
+        # the memo starts trying to capture a path.
+        score = self._miss_score
+        streak = score.get(key, 0)
+        if streak < self._RECORD_AFTER:
+            if len(score) > (self.capacity << 2):
+                score.clear()
+            score[key] = streak + 1
+            return self.resolver.resolve(
+                task, path, follow_last=follow_last,
+                intent_create=intent_create, create_dir=create_dir)
+        score[key] = 0
         return self._record(key, task, path, follow_last, intent_create,
                             create_dir)
 
     def _replay(self, entry: _Entry) -> PathPos:
         """Re-apply a confirmed recording without running the resolver."""
-        self.costs.replay_events(entry.events)
-        counters = self.stats._counters
-        for name, delta in entry.stat_deltas:
-            counters[name] = counters.get(name, 0) + delta
+        compiled = entry.compiled
+        costs = self.costs
+        if compiled is None or compiled[0] != costs.rates_version:
+            compiled = self._compile(entry)
+        fn = compiled[5]
+        if fn is not None:
+            fn(costs.clock, costs.by_primitive, costs.by_scope,
+               costs.counts, self.stats._counters)
+        else:
+            replays = entry.replays + 1
+            entry.replays = replays
+            if replays >= self._EXEC_AFTER:
+                # This entry is hot: exec-compile the charge sequence
+                # into straight-line code for every replay after this.
+                fn = costs.compile_replay_fn(compiled[1], compiled[2],
+                                             entry.stat_deltas)
+                entry.compiled = compiled[:5] + (fn,)
+                fn(costs.clock, costs.by_primitive, costs.by_scope,
+                   costs.counts, self.stats._counters)
+            else:
+                costs.replay_compiled(compiled[1], compiled[2])
+                counters = self.stats._counters
+                for name, delta in entry.stat_deltas:
+                    counters[name] = counters.get(name, 0) + delta
         lru = self.dcache._lru
-        for dentry in entry.lru_touches:
-            dkey = id(dentry)
+        for dkey, dentry in compiled[3]:
             lru[dkey] = dentry
             lru.move_to_end(dkey)
             dentry.in_lru = True
-        for pcc, dentry in entry.pcc_touches:
-            pcc_entries = pcc._entries
-            dkey = id(dentry)
+        for pcc_entries, move_to_end, dkey in compiled[4]:
             if dkey in pcc_entries:
-                pcc_entries.move_to_end(dkey)
+                move_to_end(dkey)
         exc = entry.outcome_exc
         if exc is not None:
             raise exc
         return entry.outcome_pos
+
+    def _compile(self, entry: _Entry) -> tuple:
+        """Precompute the replay-side representation of a recording.
+
+        The charge rows come from :meth:`CostModel.compile_events`
+        (exact per-event ns against the current rate table; invalidated
+        by ``rates_version``).  LRU touches are pre-keyed by ``id()``
+        (the entry holds strong refs, so ids are stable), and PCC
+        touches pre-bind the entry dict and its ``move_to_end``.
+        """
+        version, rows, count_deltas = self.costs.compile_events(entry.events)
+        lru_rows = tuple((id(d), d) for d in entry.lru_touches)
+        pcc_rows = tuple((pcc._entries, pcc._entries.move_to_end, id(d))
+                         for pcc, d in entry.pcc_touches)
+        # The exec-compiled straight-line replayer (slot 5) is deferred
+        # until the entry proves hot (_EXEC_AFTER interpreted replays):
+        # churny workloads flush entries after a few replays, and an
+        # ``exec`` per short-lived entry costs more than it saves.
+        compiled = (version, rows, count_deltas, lru_rows, pcc_rows, None)
+        entry.compiled = compiled
+        entry.replays = 0
+        return compiled
 
     # ------------------------------------------------------------------
     # record / confirm
@@ -304,6 +393,8 @@ class ResolutionMemo:
         # the entry can still match.
         entry.refs = (task.ns, task.root, task.cwd, task.cred)
         entry.confirmed = False
+        entry.compiled = None
+        entry.replays = 0
         entries = self._entries
         entries[key] = entry
         entries.move_to_end(key)
@@ -405,6 +496,8 @@ class ResolutionMemo:
         new.resolver = copy.deepcopy(self.resolver, memo)
         new.capacity = self.capacity
         new._entries = OrderedDict()
+        new._seqarr = new.dcache.arena.seq
+        new._miss_score = {}
         new.hits = 0
         new.misses = 0
         new.stale = 0

@@ -149,7 +149,8 @@ class CostModel:
     """
 
     __slots__ = ("charges", "clock", "_scope_stack", "by_scope",
-                 "by_primitive", "counts", "_rates", "_guards", "recorder")
+                 "by_primitive", "counts", "_rates", "_guards", "recorder",
+                 "rates_version")
 
     def __init__(self, charges: Optional[Dict[str, float]] = None,
                  clock: Optional[Clock] = None):
@@ -164,6 +165,10 @@ class CostModel:
         #: When non-None, every charge appends an event tuple to
         #: ``recorder.events`` (see :mod:`repro.core.resmemo`).
         self.recorder = None
+        #: Bumped by every rate rebuild; event sequences compiled by
+        #: :meth:`compile_events` are tagged with it so a
+        #: :meth:`recalibrate` invalidates them.
+        self.rates_version = 0
         self._rebuild_rates()
 
     def _rebuild_rates(self) -> None:
@@ -173,6 +178,7 @@ class CostModel:
             name: (value, charges.get(name + "_per_byte", 0.0))
             for name, value in charges.items()
         }
+        self.rates_version += 1
 
     def recalibrate(self, **changes: float) -> None:
         """Adjust charge rates after construction (tests, sweeps)."""
@@ -309,6 +315,129 @@ class CostModel:
                     by_scope[scope] += ns
                 except KeyError:
                     by_scope[scope] = ns
+
+    def compile_events(self, events) -> tuple:
+        """Pre-derive an event sequence against the current rate table.
+
+        Returns ``(rates_version, rows, count_deltas)``.  Each row is
+        ``(scope, primitive, times, ns)`` with ``ns`` the exact float
+        :meth:`charge` would compute (``per_call * times`` then
+        ``+ per_byte * nbytes``), so :meth:`replay_compiled` can skip
+        the rate lookup and multiplications per event while keeping the
+        identical floating-point accumulation order.  Raw
+        :meth:`charge_ns` events are marked with ``times is None``.
+        ``count_deltas`` aggregates the integer ``counts`` updates —
+        integer addition is associative, so folding them per primitive
+        is exact (the float ``by_primitive``/``by_scope``/clock updates
+        are not, and stay per-event).
+        """
+        rates = self._rates
+        rows = []
+        count_deltas: Dict[str, int] = {}
+        for scope, primitive, times, nbytes in events:
+            if scope is _RAW_NS:
+                # (sentinel, scope_hint, ns, scope at charge time)
+                rows.append((nbytes, primitive, None, times))
+                continue
+            per_call, per_byte = rates[primitive]
+            ns = per_call * times
+            if nbytes:
+                ns += per_byte * nbytes
+            rows.append((scope, primitive, times, ns))
+            count_deltas[primitive] = count_deltas.get(primitive, 0) + times
+        return (self.rates_version, tuple(rows), tuple(count_deltas.items()))
+
+    def replay_compiled(self, rows, count_deltas) -> None:
+        """Re-apply a :meth:`compile_events` sequence (hot replay path).
+
+        Bit-identical to :meth:`replay_events` on the same events: the
+        clock and the float attribution dicts receive the same additions
+        in the same order (the clock value is carried in a local between
+        events — pure hoisting), and the integer counters receive the
+        same totals.
+        """
+        clock = self.clock
+        by_primitive = self.by_primitive
+        by_scope = self.by_scope
+        now = clock._now_ns
+        for scope, primitive, times, ns in rows:
+            if times is None:
+                # Raw charge_ns event: scope holds the scope at charge
+                # time, primitive the scope hint.  Route through the
+                # clock's monotonicity check like the original did.
+                clock._now_ns = now
+                clock.advance(ns)
+                now = clock._now_ns
+                by_primitive[primitive] = by_primitive.get(primitive, 0.0) + ns
+                if scope is not None:
+                    by_scope[scope] = by_scope.get(scope, 0.0) + ns
+                continue
+            now = now + ns
+            try:
+                by_primitive[primitive] += ns
+            except KeyError:
+                by_primitive[primitive] = by_primitive.get(primitive, 0.0) + ns
+            if scope is not None:
+                try:
+                    by_scope[scope] += ns
+                except KeyError:
+                    by_scope[scope] = ns
+        clock._now_ns = now
+        counts = self.counts
+        for primitive, times in count_deltas:
+            try:
+                counts[primitive] += times
+            except KeyError:
+                counts[primitive] = times
+
+    @staticmethod
+    def compile_replay_fn(rows, count_deltas, extra_deltas=()):
+        """exec-compile a replay sequence into a straight-line function.
+
+        Returns ``fn(clock, by_primitive, by_scope, counts, extra)``
+        applying exactly what :meth:`replay_compiled` would: same
+        statements, same order, same floats — but with every row's
+        constants baked into generated bytecode (``repr`` of a float
+        round-trips exactly), so a hot memo entry replayed thousands of
+        times pays no per-row tuple unpacking or loop dispatch.
+
+        ``extra_deltas`` is a second integer-delta section applied to the
+        ``extra`` dict argument (the resolution memo passes its stats
+        counters there); pass ``()`` and ``None`` when unused.
+        """
+        src = ["def _replay_fn(clock, bp, bs, counts, extra):",
+               " now = clock._now_ns"]
+        app = src.append
+        for scope, primitive, times, ns in rows:
+            r = repr(ns)
+            if times is None:
+                # Raw charge_ns event: route through the clock's
+                # monotonicity check like the original charge did.
+                app(" clock._now_ns = now")
+                app(f" clock.advance({r})")
+                app(" now = clock._now_ns")
+                app(f" bp[{primitive!r}] = bp.get({primitive!r}, 0.0) + {r}")
+                if scope is not None:
+                    app(f" bs[{scope!r}] = bs.get({scope!r}, 0.0) + {r}")
+                continue
+            app(f" now = now + {r}")
+            # 0.0 + ns == ns exactly for the nonnegative charges the
+            # model produces, so the miss arm may store the constant.
+            app(f" try: bp[{primitive!r}] += {r}")
+            app(f" except KeyError: bp[{primitive!r}] = {r}")
+            if scope is not None:
+                app(f" try: bs[{scope!r}] += {r}")
+                app(f" except KeyError: bs[{scope!r}] = {r}")
+        app(" clock._now_ns = now")
+        for primitive, times in count_deltas:
+            app(f" try: counts[{primitive!r}] += {times}")
+            app(f" except KeyError: counts[{primitive!r}] = {times}")
+        for name, delta in extra_deltas:
+            app(f" try: extra[{name!r}] += {delta}")
+            app(f" except KeyError: extra[{name!r}] = {delta}")
+        namespace: Dict[str, object] = {}
+        exec("\n".join(src), namespace)  # noqa: S102 - self-generated code
+        return namespace["_replay_fn"]
 
     # -- attribution --------------------------------------------------------
 

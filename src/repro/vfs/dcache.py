@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from repro.core.arena import DentryArena
 from repro.fs.base import FileSystem
 from repro.sim.costs import CostModel
 from repro.sim.stats import Stats
@@ -56,16 +57,20 @@ class Dcache:
         hooks: optimized-kernel coherence callbacks.
     """
 
-    __slots__ = ("costs", "stats", "capacity", "hooks", "_hash", "_lru",
-                 "_roots", "_inode_tables", "count", "memo")
+    __slots__ = ("costs", "stats", "capacity", "hooks", "arena", "_hash",
+                 "_lru", "_roots", "_inode_tables", "count", "memo")
 
     def __init__(self, costs: CostModel, stats: Stats,
                  capacity: int = 1_000_000,
-                 hooks: Optional[DcacheHooks] = None):
+                 hooks: Optional[DcacheHooks] = None,
+                 arena: Optional[DentryArena] = None):
         self.costs = costs
         self.stats = stats
         self.capacity = capacity
         self.hooks = hooks or DcacheHooks()
+        #: Struct-of-arrays store for every dentry this cache allocates;
+        #: hot loops bind its columns and index them by dentry handle.
+        self.arena = arena if arena is not None else DentryArena()
         self._hash: Dict[Tuple[int, str], Dentry] = {}
         self._lru: "OrderedDict[int, Dentry]" = OrderedDict()
         self._roots: Dict[int, Dentry] = {}
@@ -96,7 +101,7 @@ class Dcache:
         if root is None:
             info = fs.getattr(fs.root_ino)
             inode = self.inode_table(fs).obtain(info)
-            root = Dentry("", None, inode)
+            root = Dentry("", None, inode, arena=self.arena)
             root.pin()
             self._roots[id(fs)] = root
             self.count += 1
@@ -202,6 +207,7 @@ class Dcache:
         self.count -= 1
         self._flush_memo()
         self.hooks.on_unhash(dentry)
+        dentry.retire()
         self.costs.charge("dentry_free")
 
     # -- negativity transitions ---------------------------------------------------
@@ -241,6 +247,11 @@ class Dcache:
             self.d_drop(existing)
         dentry.parent = new_parent
         dentry.name = new_name
+        h = dentry.h
+        if h >= 0:
+            arena = self.arena
+            arena.name_id[h] = arena.intern_name(new_name)
+            arena.parent[h] = new_parent.h
         self._hash[self._key(new_parent, new_name)] = dentry
         new_parent.children[new_name] = dentry
         self._flush_memo()
@@ -297,6 +308,7 @@ class Dcache:
         self.count -= 1
         self._flush_memo()
         self.hooks.on_unhash(dentry)
+        dentry.retire()
         self.costs.charge("dentry_free")
 
     def drop_all(self) -> None:

@@ -97,7 +97,11 @@ def _fast_lseek(sys_: "Syscalls", task: Task):
         file = files.get(fd)
         if file is None or file.closed:
             raise errors.EBADF(message=f"fd {fd}")
-        if file.pos.dentry.is_dir:
+        # Open files are positive, so dir-ness is the inode's cached
+        # flag (Dentry.is_dir's stub arm can't apply) — skip the
+        # property dispatch on this, the most replayed trace opcode.
+        inode = file.pos.dentry.inode
+        if inode is not None and inode.is_dir:
             readdir_engine.seek(file, offset)
         file.offset = offset
         return offset

@@ -1,0 +1,403 @@
+"""The struct-of-arrays dentry arena: lifecycle, fidelity, differentials.
+
+The :class:`~repro.core.arena.DentryArena` holds every hot per-dentry
+scalar in parallel flat columns indexed by recycled integer handles.
+That refactor is only sound if it is *invisible* to the simulation:
+handle reuse after unlink, column growth, tail compaction, sequence
+wraparound, and bulk snapshot copies must all leave virtual costs
+bit-identical to a kernel that never exercised them.  These tests pin
+each lifecycle event down with golden-counter comparisons, plus a
+hypothesis differential over random mutation schedules.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro import O_CREAT, O_RDWR, errors, make_kernel
+from repro.core.arena import FLAG_MOUNTPOINT, DentryArena
+from repro.core.coherence import SEQ_WRAP
+from repro.sim.snapshot import KernelSnapshot
+from repro.vfs.dentry import Dentry
+
+PROFILES = ("baseline", "optimized", "optimized-lazy")
+
+
+def capture_state(kernel):
+    """Everything virtual a workload can change, for golden comparison."""
+    return (dict(kernel.costs.counts), kernel.costs.now_ns,
+            kernel.stats.snapshot())
+
+
+def root_child(kernel, name):
+    return kernel.dcache.root_dentry(kernel.root_fs).children[name]
+
+
+class TestArenaLifecycle:
+    """The arena's own contract: alloc, retire, reuse, compact."""
+
+    def test_alloc_zeroes_reused_slot(self):
+        arena = DentryArena()
+        h = arena.alloc("a", -1)
+        arena.seq[h] = 7
+        arena.epoch[h] = 3
+        arena.pin[h] = 2
+        arena.flags[h] = FLAG_MOUNTPOINT
+        first_ident = arena.ident[h]
+        arena.retire(h)
+        h2 = arena.alloc("b", -1)
+        assert h2 == h  # LIFO reuse of the freed slot
+        assert (arena.seq[h2], arena.epoch[h2], arena.pin[h2],
+                arena.flags[h2]) == (0, 0, 0, 0)
+        assert arena.ident[h2] == first_ident + 1  # ident never recycled
+
+    def test_retire_is_lifo_and_live_counted(self):
+        arena = DentryArena()
+        handles = [arena.alloc(f"n{i}", -1) for i in range(4)]
+        assert arena.live == 4
+        arena.retire(handles[1])
+        arena.retire(handles[2])
+        assert arena.live == 2
+        assert arena.alloc("r1", -1) == handles[2]
+        assert arena.alloc("r2", -1) == handles[1]
+        assert arena.live == 4
+
+    def test_compact_trims_only_the_tail(self):
+        arena = DentryArena()
+        handles = [arena.alloc(f"n{i}", -1) for i in range(6)]
+        for h in (handles[2], handles[5], handles[4]):
+            arena.retire(h)
+        before = arena.footprint_bytes()
+        trimmed = arena.compact()
+        assert trimmed == 2  # slots 4 and 5; slot 2 is interior
+        assert len(arena) == 4
+        assert arena.footprint_bytes() < before
+        # Interior survivors are untouched and the interior hole is
+        # still reusable.
+        assert arena.name_of(handles[3]) == "n3"
+        assert arena.alloc("refill", -1) == handles[2]
+
+    def test_compact_on_dense_arena_is_a_noop(self):
+        arena = DentryArena()
+        for i in range(3):
+            arena.alloc(f"n{i}", -1)
+        assert arena.compact() == 0
+        assert len(arena) == 3
+
+    def test_name_interning_is_stable(self):
+        arena = DentryArena()
+        nid = arena.intern_name("hot")
+        h = arena.alloc("hot", -1)
+        assert arena.name_id[h] == nid
+        arena.retire(h)
+        assert arena.intern_name("hot") == nid  # survives retirement
+
+    def test_deepcopy_is_independent(self):
+        arena = DentryArena()
+        h = arena.alloc("a", -1)
+        arena.seq[h] = 41
+        clone = copy.deepcopy(arena)
+        clone.seq[h] = 99
+        clone.alloc("b", -1)
+        assert arena.seq[h] == 41
+        assert len(arena) == 1 and len(clone) == 2
+
+    def test_deepcopy_registers_columns_for_bound_references(self):
+        """A structure that bound a column maps to the copy's column."""
+        arena = DentryArena()
+        arena.alloc("a", -1)
+        bound = arena.seq  # what a hot loop holds
+        memo: dict = {}
+        clone = copy.deepcopy(arena, memo)
+        assert memo[id(bound)] is clone.seq
+
+    def test_view_materializes_on_retire(self):
+        dentry = Dentry("x", None, None, arena=DentryArena())
+        dentry.seq = 5
+        dentry.pin_count = 2
+        dentry.is_mountpoint = True
+        dentry.retire()
+        assert dentry.h == -1
+        assert (dentry.seq, dentry.pin_count, dentry.is_mountpoint) == \
+            (5, 2, True)
+        dentry.unpin()  # fallback slots stay writable after death
+        assert dentry.pin_count == 1
+        dentry.retire()  # idempotent
+
+
+class TestHandleReuseGolden:
+    """Slot recycling is invisible to virtual costs and correctness."""
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_eviction_retires_and_recreation_reuses(self, profile):
+        """Evicted slots go back to the free list; a rebuilt tree of the
+        same size allocates entirely from it (no column growth).
+
+        (``unlink`` alone retires nothing — the dentry turns *negative*
+        in place, still occupying its slot; retirement happens on
+        ``d_drop``/``evict``.)
+        """
+        kernel = make_kernel(profile)
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/w")
+        for i in range(30):
+            fd = kernel.sys.open(task, f"/w/f{i}", O_CREAT | O_RDWR)
+            kernel.sys.close(task, fd)
+        arena = kernel.dcache.arena
+        capacity = len(arena)
+        live_before = arena.live
+        for i in range(30):
+            kernel.sys.unlink(task, f"/w/f{i}")
+        assert arena.live == live_before  # negative in place, slot kept
+        kernel.dcache.drop_all()
+        assert arena.live < live_before
+        for i in range(30):
+            fd = kernel.sys.open(task, f"/w/g{i}", O_CREAT | O_RDWR)
+            kernel.sys.close(task, fd)
+        assert len(arena) <= capacity  # rebuilt purely from the free list
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_reused_slot_never_validates_stale_pcc(self, profile):
+        """An entry recorded against a dead dentry must not revalidate
+        when its slot is recycled for an unrelated dentry."""
+        kernel = make_kernel(profile)
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/w")
+        fd = kernel.sys.open(task, "/w/victim", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        kernel.sys.stat(task, "/w/victim")
+        victim = root_child(kernel, "w").children["victim"]
+        old_handle = victim.h
+        kernel.sys.unlink(task, "/w/victim")
+        kernel.dcache.drop_all()  # eviction is what retires the slot
+        assert victim.h == -1 and victim.dead
+        fd = kernel.sys.open(task, "/w/other", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        # The dead view answers reads from its materialized slots even
+        # though its old slot may now belong to /w/other.
+        assert victim.seq >= 0
+        if old_handle < len(victim.arena):
+            victim.arena.seq[old_handle] = 12345  # poison the recycled slot
+        assert victim.seq != 12345
+        pcc = task.cred.pcc
+        if pcc is not None:  # baseline has no PCC
+            assert not pcc.probe(victim)
+        with pytest.raises(errors.FsError):
+            kernel.sys.stat(task, "/w/victim")
+
+
+class TestWraparoundGolden:
+    """Sequence wraparound on an arena column triggers the §3.1 flush."""
+
+    @pytest.mark.parametrize("profile", ("optimized", "optimized-lazy"))
+    def test_seq_wrap_flushes_pccs(self, profile):
+        kernel = make_kernel(profile)
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/d")
+        fd = kernel.sys.open(task, "/d/f", O_CREAT | O_RDWR)
+        kernel.sys.close(task, fd)
+        kernel.sys.stat(task, "/d/f")
+        assert task.cred.pcc is not None and len(task.cred.pcc) > 0
+        d = root_child(kernel, "d")
+        kernel.dcache.arena.seq[d.h] = SEQ_WRAP - 1
+        kernel.sys.chmod(task, "/d", 0o700)  # bumps /d's seq to SEQ_WRAP
+        assert kernel.stats.get("seq_wraparound_flush") >= 1
+        assert len(task.cred.pcc) == 0
+        # And the kernel keeps working after the flush.
+        kernel.sys.stat(task, "/d/f")
+
+    def test_wrap_on_retired_dentry_fallback_slot(self):
+        """The fallback (h < 0) bump path also detects wraparound."""
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        fd = kernel.sys.open(task, "/f", O_CREAT | O_RDWR)
+        kernel.sys.stat(task, "/f")
+        f = root_child(kernel, "f")
+        kernel.sys.unlink(task, "/f")
+        assert f.h == -1
+        f.seq = SEQ_WRAP - 1
+        before = kernel.stats.get("seq_wraparound_flush")
+        kernel.coherence.shootdown_single(f)
+        assert kernel.stats.get("seq_wraparound_flush") == before + 1
+        kernel.sys.close(task, fd)
+
+
+class TestCompactionGolden:
+    """compact() at a quiesce point never changes virtual outcomes."""
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_compaction_is_virtually_invisible(self, profile):
+        def build(compact):
+            kernel = make_kernel(profile)
+            task = kernel.spawn_task(uid=0, gid=0)
+            kernel.sys.mkdir(task, "/big")
+            for i in range(40):
+                fd = kernel.sys.open(task, f"/big/f{i}", O_CREAT | O_RDWR)
+                kernel.sys.close(task, fd)
+            for i in range(40):
+                kernel.sys.unlink(task, f"/big/f{i}")
+            kernel.dcache.drop_all()  # retire the slots (both kernels)
+            if compact:
+                assert kernel.dcache.arena.compact() > 0
+            return kernel, task
+
+        ref_kernel, ref_task = build(compact=False)
+        kernel, task = build(compact=True)
+        assert len(kernel.dcache.arena) < len(ref_kernel.dcache.arena)
+        # Identical follow-on workload, bit-identical virtual charges.
+        for k, t in ((ref_kernel, ref_task), (kernel, task)):
+            for i in range(6):
+                fd = k.sys.open(t, f"/big/g{i}", O_CREAT | O_RDWR)
+                k.sys.close(t, fd)
+                k.sys.stat(t, f"/big/g{i}")
+        assert capture_state(kernel) == capture_state(ref_kernel)
+
+    def test_growth_reuses_before_growing(self):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/big")
+        for i in range(30):
+            fd = kernel.sys.open(task, f"/big/f{i}", O_CREAT | O_RDWR)
+            kernel.sys.close(task, fd)
+        arena = kernel.dcache.arena
+        for i in range(30):
+            kernel.sys.unlink(task, f"/big/f{i}")
+        kernel.dcache.drop_all()
+        capacity = len(arena)
+        live = arena.live
+        for i in range(20):
+            fd = kernel.sys.open(task, f"/big/h{i}", O_CREAT | O_RDWR)
+            kernel.sys.close(task, fd)
+        assert len(arena) == capacity  # all from the free list
+        assert arena.live > live
+
+
+class TestSnapshotFidelityOverArena:
+    """Snapshots taken across every arena lifecycle state stay faithful."""
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_snapshot_after_retire_and_compact(self, profile):
+        kernel = make_kernel(profile)
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/d")
+        for i in range(12):
+            fd = kernel.sys.open(task, f"/d/f{i}", O_CREAT | O_RDWR)
+            kernel.sys.close(task, fd)
+            kernel.sys.stat(task, f"/d/f{i}")
+        for i in range(0, 12, 2):
+            kernel.sys.unlink(task, f"/d/f{i}")
+        kernel.dcache.arena.compact()
+        at_capture = capture_state(kernel)
+        snap = KernelSnapshot(kernel, task)
+
+        def probe(k, t):
+            base = capture_state(k)
+            for i in range(1, 12, 2):
+                k.sys.stat(t, f"/d/f{i}")
+            fd = k.sys.open(t, "/d/f0", O_CREAT | O_RDWR)
+            k.sys.close(t, fd)
+            k.sys.rename(t, "/d/f0", "/d/f99")
+            k.sys.stat(t, "/d/f99")
+            after = capture_state(k)
+            return ({k2: v - base[0].get(k2, 0)
+                     for k2, v in after[0].items()},
+                    after[1] - base[1], after[2])
+
+        r1_kernel, r1_task = snap.restore()
+        first = probe(r1_kernel, r1_task)
+        # The original is untouched by restore+probe...
+        assert capture_state(kernel) == at_capture
+        # ...and a second restore replays bit-identically.
+        r2_kernel, r2_task = snap.restore()
+        assert probe(r2_kernel, r2_task) == first
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_restored_arena_is_disjoint_storage(self, profile):
+        kernel = make_kernel(profile)
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/d")
+        kernel.sys.stat(task, "/d")
+        restored, rtask = KernelSnapshot(kernel, task).restore()
+        orig = kernel.dcache.arena
+        copy_arena = restored.dcache.arena
+        assert copy_arena is not orig
+        d = root_child(restored, "d")
+        assert d.arena is copy_arena  # views rebound to the copied arena
+        before = orig.seq[d.h]
+        copy_arena.seq[d.h] += 7
+        assert orig.seq[d.h] == before
+
+
+#: Op schedule alphabet for the differential: (verb, primary, secondary).
+_DIRS = ("/a", "/b")
+_FILES = ("/a/x", "/a/y", "/b/x", "/b/z")
+_OPS = st.tuples(
+    st.sampled_from(["create", "unlink", "stat", "rename", "mkdir",
+                     "rmdir", "chmod", "listdir"]),
+    st.sampled_from(_DIRS + _FILES),
+    st.sampled_from(_DIRS + _FILES),
+)
+
+
+def _apply(kernel, task, schedule):
+    """Run a schedule, swallowing expected FS errors (invalid ops)."""
+    sys = kernel.sys
+    for verb, primary, secondary in schedule:
+        try:
+            if verb == "create":
+                sys.close(task, sys.open(task, primary, O_CREAT | O_RDWR))
+            elif verb == "unlink":
+                sys.unlink(task, primary)
+            elif verb == "stat":
+                sys.stat(task, primary)
+            elif verb == "rename":
+                sys.rename(task, primary, secondary)
+            elif verb == "mkdir":
+                sys.mkdir(task, primary)
+            elif verb == "rmdir":
+                sys.rmdir(task, primary)
+            elif verb == "chmod":
+                sys.chmod(task, primary, 0o755)
+            elif verb == "listdir":
+                sys.listdir(task, primary)
+        except errors.FsError:
+            pass
+
+
+class TestDifferentialSchedules:
+    """Random mutation schedules: arena perturbations change nothing."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sampled_from(PROFILES),
+           st.lists(_OPS, min_size=1, max_size=40),
+           st.integers(min_value=0, max_value=40))
+    def test_compact_and_snapshot_invisible(self, profile, schedule, cut):
+        """Reference runs the schedule straight; candidate compacts the
+        arena and detours through a snapshot at a random cut point.
+        Virtual costs, stats, and the observable namespace must match
+        bit-for-bit."""
+        cut = min(cut, len(schedule))
+        ref_kernel = make_kernel(profile)
+        ref_task = ref_kernel.spawn_task(uid=0, gid=0)
+        _apply(ref_kernel, ref_task, schedule)
+
+        kernel = make_kernel(profile)
+        task = kernel.spawn_task(uid=0, gid=0)
+        _apply(kernel, task, schedule[:cut])
+        kernel.dcache.arena.compact()
+        kernel, task = KernelSnapshot(kernel, task).restore()
+        _apply(kernel, task, schedule[cut:])
+
+        assert capture_state(kernel) == capture_state(ref_kernel)
+        for d in _DIRS + ("/",):
+            try:
+                ref_listing = ref_kernel.sys.listdir(ref_task, d)
+            except errors.FsError as exc:
+                with pytest.raises(type(exc)):
+                    kernel.sys.listdir(task, d)
+            else:
+                assert kernel.sys.listdir(task, d) == ref_listing

@@ -141,7 +141,10 @@ class TestPcc:
         pcc = PrefixCheckCache(costs, stats, capacity=4)
         dentry = _dentry()
         pcc.insert(dentry)
+        # Death in the dcache is always dead-flag + handle retirement
+        # (d_drop/evict); the PCC keys staleness off the retired handle.
         dentry.dead = True
+        dentry.retire()
         assert not pcc.probe(dentry)
 
     def test_lru_bound(self, costs, stats):

@@ -125,6 +125,40 @@ class TestGoldenDifferential:
         assert on.memo.flushes > 0
 
     @pytest.mark.parametrize("profile", PROFILES)
+    def test_exec_compiled_replay_bit_identical(self, profile):
+        """The exec-generated replay function (installed once an entry
+        has replayed ``_EXEC_AFTER`` times) charges bit-identically to
+        the interpreted replay path it specializes."""
+        from repro.core.resmemo import ResolutionMemo
+
+        def workload(kernel, task):
+            kernel.sys.mkdir(task, "/d")
+            _mkfile(kernel, task, "/d/f")
+            out = []
+            for _ in range(12):  # far past _EXEC_AFTER
+                out.append(kernel.sys.stat(task, "/d/f"))
+                out.append(_try_stat(kernel, task, "/d/missing"))
+            return out
+
+        interp = make_kernel(profile)
+        execed = make_kernel(profile)
+        orig = ResolutionMemo._EXEC_AFTER
+        ResolutionMemo._EXEC_AFTER = 1 << 30  # interpreted forever
+        try:
+            out_i = workload(interp, interp.spawn_task(uid=0, gid=0))
+        finally:
+            ResolutionMemo._EXEC_AFTER = orig
+        out_e = workload(execed, execed.spawn_task(uid=0, gid=0))
+        assert out_i == out_e
+        assert _fingerprint(interp) == _fingerprint(execed)
+        # Vacuous unless the exec path actually engaged on the candidate
+        # (and stayed off on the reference).
+        assert any(e.compiled is not None and e.compiled[5] is not None
+                   for e in execed.memo._entries.values())
+        assert all(e.compiled is None or e.compiled[5] is None
+                   for e in interp.memo._entries.values())
+
+    @pytest.mark.parametrize("profile", PROFILES)
     def test_flush_midstream_changes_nothing_virtual(self, profile):
         """An explicit flush at an arbitrary point is virtually invisible."""
         plain = make_kernel(profile)
