@@ -172,3 +172,28 @@ def test_trace_replay_wallclock(benchmark, profile):
     program = compile_trace(build_loop_trace(profile=profile))
     replay_compiled(kernel, task, program)  # warm caches + fd numbering
     benchmark(replay_compiled, kernel, task, program)
+
+
+@pytest.mark.parametrize("profile",
+                         ["baseline", "optimized", "optimized-lazy"])
+def test_multi_task_replay_wallclock(benchmark, profile):
+    """Interleaved compiled replay of 120 per-task streams on one kernel.
+
+    Each task owns a small self-undoing loop trace under its own
+    subtree (own creds, cwd, fd table); a seeded round-robin scheduler
+    interleaves the compiled streams unit by unit, so rounds are
+    deterministic.  One benchmark round drains all 120 streams.
+    """
+    from repro.workloads.compile import build_loop_trace, compile_trace
+    from repro.workloads.traces import replay_interleaved
+    kernel = make_kernel(profile)
+    streams = []
+    for i in range(120):
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, f"/home{i}")
+        kernel.sys.chdir(task, f"/home{i}")
+        trace = build_loop_trace(files=2, io_rounds=1, subdirs=1,
+                                 profile=profile, root=f"/mt{i}")
+        streams.append((task, compile_trace(trace)))
+    replay_interleaved(kernel, streams, seed=0)  # warm caches + fds
+    benchmark(replay_interleaved, kernel, streams, seed=0)

@@ -22,16 +22,20 @@ Modes:
 ``repro-speed [--output BENCH_simspeed.json] [--jobs N] [--memo on|off]``
     Run the benchmark loops (warm stat, stat/rename churn,
     create/unlink, readdir, rename-invalidation, rename-churn,
-    compiled trace replay, and warm snapshot restore on all three
-    kernel profiles) and write median microseconds-per-operation to a
-    JSON file.  The committed ``BENCH_simspeed.json`` at the repo root
+    compiled trace replay, interleaved multi-task replay, and warm
+    snapshot restore on all three kernel profiles) and write median
+    microseconds-per-operation to a JSON file.  The committed
+    ``BENCH_simspeed.json`` at the repo root
     is generated this way.  ``--only name,name`` restricts the run
     (unknown names exit 2); ``--timing`` appends markdown tables
-    reporting trace **compile** time and resolution-memo hit/flush
-    counters separately from the executed op/s numbers (the
+    reporting trace **compile** time, resolution-memo hit/flush
+    counters, and charge-plan capture/apply counters separately from
+    the executed op/s numbers (the
     ``trace_replay`` cell times execution only).  ``--memo off``
     disables the resolution memo (:mod:`repro.core.resmemo`) in every
-    benchmark kernel — virtual results are bit-identical either way;
+    benchmark kernel, and ``--plans off`` disables charge plans
+    (:class:`repro.sim.costs.ChargePlanRegistry`) in every replay cell
+    — virtual results are bit-identical either way;
     only wall-clock moves.  ``--cprofile`` reruns each cell once under
     :mod:`cProfile` after timing it and dumps the top-20 functions by
     cumulative time to stderr, without perturbing the timed medians.
@@ -68,7 +72,7 @@ from repro.bench import parallel
 from repro.sim.snapshot import KernelSnapshot
 from repro.workloads import lmbench
 from repro.workloads.compile import build_loop_trace, compile_trace
-from repro.workloads.traces import replay_compiled
+from repro.workloads.traces import replay_compiled, replay_interleaved
 from repro.workloads.tree import build_flat_dir
 
 #: Kernel profiles every benchmark runs against.
@@ -88,6 +92,17 @@ def _memo_enabled() -> bool:
 def _make(profile: str):
     """Benchmark kernel honouring the ``--memo`` switch."""
     return make_kernel(profile, resolution_memo=_memo_enabled())
+
+
+def _plans_enabled() -> bool:
+    """Charge-plan switch for the replay cells (``--plans off`` sets it).
+
+    Env-carried like ``--memo`` so ``--jobs`` workers inherit it; the
+    replay entry points re-read it per call, so no kernel plumbing is
+    needed.
+    """
+    return os.environ.get("REPRO_CHARGE_PLANS", "on").strip().lower() \
+        not in ("0", "off", "false", "no")
 
 
 def _cprofile_enabled() -> bool:
@@ -123,6 +138,12 @@ PYTEST_NAME_MAP = {
     "test_trace_replay_wallclock[optimized]": "trace_replay[optimized]",
     "test_trace_replay_wallclock[optimized-lazy]":
         "trace_replay[optimized-lazy]",
+    "test_multi_task_replay_wallclock[baseline]":
+        "multi_task_replay[baseline]",
+    "test_multi_task_replay_wallclock[optimized]":
+        "multi_task_replay[optimized]",
+    "test_multi_task_replay_wallclock[optimized-lazy]":
+        "multi_task_replay[optimized-lazy]",
     "test_stat_churn_wallclock[baseline]": "stat_churn[baseline]",
     "test_stat_churn_wallclock[optimized]": "stat_churn[optimized]",
     "test_stat_churn_wallclock[optimized-lazy]": "stat_churn[optimized-lazy]",
@@ -299,6 +320,42 @@ def _setup_trace_replay(profile: str) -> SetupResult:
     return kernel, task, bind
 
 
+def _setup_multi_task_replay(profile: str) -> SetupResult:
+    """Interleaved compiled replay of 120 per-task streams on one kernel.
+
+    The multi-tenant slice of the traffic engine (ROADMAP item 1): each
+    task owns a small self-undoing loop trace under its own subtree,
+    with its own credentials, cwd, and fd table, and a seeded
+    round-robin scheduler interleaves the compiled streams unit by
+    unit.  Scheduling is deterministic (fixed seed), so virtual results
+    are byte-identical across runs and ``--jobs`` values.  The timed op
+    is one full drain of all 120 streams; compilation happens here in
+    setup, like ``trace_replay``.
+    """
+    kernel = _make(profile)
+    tasks = []
+    programs = []
+    for i in range(120):
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, f"/home{i}")
+        kernel.sys.chdir(task, f"/home{i}")
+        tasks.append(task)
+        trace = build_loop_trace(files=2, io_rounds=1, subdirs=1,
+                                 profile=profile, root=f"/mt{i}")
+        programs.append(compile_trace(trace))
+    replay_interleaved(kernel, list(zip(tasks, programs)), seed=0)
+
+    def bind(kernel, tasks) -> Callable[[], None]:
+        streams = list(zip(tasks, programs))
+
+        def op() -> None:
+            replay_interleaved(kernel, streams, seed=0)
+
+        return op
+
+    return kernel, tasks, bind
+
+
 def _setup_stat_churn(profile: str) -> SetupResult:
     """Interleaved stat/rename over overlapping hot paths.
 
@@ -375,6 +432,7 @@ BENCHMARKS: List[Tuple[str, Callable[[str], SetupResult], int]] = [
     ("rename_inval", _setup_rename_inval, 1_000),
     ("rename_churn", _setup_rename_churn, 500),
     ("trace_replay", _setup_trace_replay, 25),
+    ("multi_task_replay", _setup_multi_task_replay, 4),
     ("snapshot_restore", _setup_snapshot_restore, 200),
 ]
 
@@ -507,6 +565,7 @@ def print_timing_appendix() -> None:
         ms = program.compile_wall_s * 1e3
         print(f"| {profile} | {n} | {ms:.2f} | {ms * 1e3 / n:.2f} |")
     _print_memo_appendix()
+    _print_plan_appendix()
 
 
 def _print_memo_appendix() -> None:
@@ -542,6 +601,39 @@ def _print_memo_appendix() -> None:
         memo = kernel.memo
         print(f"| {profile} | {memo.hits} | {memo.misses} | {memo.stale} "
               f"| {memo.flushes} | {len(memo)} |")
+
+
+def _print_plan_appendix() -> None:
+    """Charge-plan capture/apply counters over the replay cells.
+
+    Host-side telemetry only (``ChargePlanRegistry.telemetry()``): like
+    the memo counters, plan bookkeeping lives outside ``Stats`` so it
+    cannot perturb golden counters.  Sampled over six back-to-back
+    passes of the ``trace_replay`` loop trace (warm → capture → confirm
+    → apply) plus one ``multi_task_replay`` drain, so both the
+    whole-pass and the per-segment plan paths report.
+    """
+    print()
+    print("## Charge-plan counters (host-side; 6x trace_replay pass + "
+          "1x multi_task_replay drain)")
+    print()
+    if not _plans_enabled():
+        print("charge plans disabled (--plans off / REPRO_CHARGE_PLANS)")
+        return
+    print("| profile | compiled | applied | invalidated | fallbacks |")
+    print("|---------|----------|---------|-------------|-----------|")
+    for profile in PROFILES:
+        kernel, task, bind = _setup_trace_replay(profile)
+        op = bind(kernel, task)
+        for _ in range(6):
+            op()
+        mt_kernel, mt_tasks, mt_bind = _setup_multi_task_replay(profile)
+        mt_bind(mt_kernel, mt_tasks)()
+        tel = kernel.costs.plans.telemetry()
+        for key, value in mt_kernel.costs.plans.telemetry().items():
+            tel[key] = tel.get(key, 0) + value
+        print(f"| {profile} | {tel['compiled']} | {tel['applied']} "
+              f"| {tel['invalidated']} | {tel['fallbacks']} |")
 
 
 # -- regression check -----------------------------------------------------
@@ -631,12 +723,17 @@ def main(argv=None) -> int:
                              "are unaffected")
     parser.add_argument("--timing", action="store_true",
                         help="print markdown appendices reporting trace "
-                             "compile time and resolution-memo hit/flush "
+                             "compile time, resolution-memo hit/flush "
+                             "counters, and charge-plan capture/apply "
                              "counters separately from execute time")
     parser.add_argument("--memo", choices=("on", "off"), default=None,
                         help="enable/disable the resolution memo in every "
                              "benchmark kernel (default: on; virtual "
                              "results are identical either way)")
+    parser.add_argument("--plans", choices=("on", "off"), default=None,
+                        help="enable/disable charge plans in the replay "
+                             "cells (default: on; virtual results are "
+                             "identical either way)")
     parser.add_argument("--check", metavar="PYTEST_JSON",
                         help="pytest-benchmark JSON export to check against "
                              "the committed baseline instead of running")
@@ -651,6 +748,8 @@ def main(argv=None) -> int:
     if args.memo is not None:
         # Via the environment so --jobs worker processes inherit it.
         os.environ["REPRO_RESOLUTION_MEMO"] = args.memo
+    if args.plans is not None:
+        os.environ["REPRO_CHARGE_PLANS"] = args.plans
     if args.cprofile:
         os.environ["REPRO_CPROFILE"] = "1"
 

@@ -71,6 +71,13 @@ class Coherence:
         #: (set by the kernel when ``DcacheConfig.resolution_memo`` is
         #: on; see :mod:`repro.core.resmemo`).
         self.memo = None
+        #: Charge-plan registry to generation-bump on wraparound (set by
+        #: the kernel; see :class:`repro.sim.costs.ChargePlanRegistry`).
+        #: Deliberately NOT bumped by :meth:`bump_counter` — plan guards
+        #: re-validate fd-table state at apply time, so per-pass
+        #: structural mutations need no plan invalidation; the gen
+        #: covers only out-of-band bulk flushes.
+        self.plans = None
 
     # -- cache registry --------------------------------------------------------
 
@@ -261,6 +268,8 @@ class Coherence:
             pcc.invalidate_all()
         for dlht in self.dlhts:
             dlht.flush()
+        if self.plans is not None:
+            self.plans.bump_gen()
 
 
 class LazySweeper:

@@ -121,6 +121,9 @@ class Kernel:
         self.coherence = Coherence(
             self.costs, self.stats,
             lazy=config.fastpath and config.lazy_invalidation)
+        # Epoch wraparound renumbers the world; captured charge plans
+        # (like the resolution memo) cannot outlive it.
+        self.coherence.plans = self.costs.plans
         hooks = FastDcacheHooks(self.coherence) if config.fastpath else None
         self.dcache = Dcache(self.costs, self.stats,
                              capacity=config.dcache_capacity, hooks=hooks)
@@ -269,6 +272,8 @@ class Kernel:
             # Buffer-cache state changed; recorded fs-level charges (if
             # any slipped through) and future cold costs would diverge.
             self.memo.flush()
+        # Same reasoning for captured charge plans: drop them all.
+        self.costs.plans.bump_gen()
 
 
 def make_kernel(profile: str = "optimized",

@@ -153,13 +153,18 @@ class ResolutionMemo:
 
     __slots__ = (
         "costs", "stats", "coherence", "dcache", "resolver", "capacity",
-        "_entries", "_seqarr", "_miss_score", "hits", "misses", "stale",
-        "flushes",
+        "_entries", "_seqarr", "_miss_score", "_burn", "hits", "misses",
+        "stale", "flushes",
     )
 
     #: Consecutive misses of one key before its resolutions are worth
     #: recording (see :meth:`resolve`).
     _RECORD_AFTER = 1
+
+    #: Cap on the per-key recording backoff shift (see :meth:`resolve`):
+    #: a key whose recordings never confirm ends up recording at most
+    #: once per ``_RECORD_AFTER << _MAX_BURN`` misses.
+    _MAX_BURN = 6
 
     #: Interpreted replays before an entry's charge sequence is
     #: exec-compiled into straight-line code (see ``_replay``).
@@ -183,6 +188,8 @@ class ResolutionMemo:
         self._seqarr = dcache.arena.seq
         #: Per-key miss streaks surviving flushes (see :meth:`resolve`).
         self._miss_score: dict = {}
+        #: Per-key recording backoff: recordings that never confirmed.
+        self._burn: dict = {}
         self.hits = 0
         self.misses = 0
         self.stale = 0
@@ -246,13 +253,19 @@ class ResolutionMemo:
         # it can confirm — pure waste.  A key must miss _RECORD_AFTER
         # times before its resolutions are recorded; the streak counter
         # survives flushes (it carries no validity state), and recording
-        # resets it so a key whose recordings never confirm only pays
-        # for one recording every _RECORD_AFTER + 1 misses.  Virtual
-        # charges are identical either way — the gate only defers when
-        # the memo starts trying to capture a path.
+        # resets it.  On top of the flat gate sits an exponential
+        # backoff: every recording that never confirms doubles the
+        # key's effective threshold (capped at ``<< _MAX_BURN``), and a
+        # successful confirm resets it — so the keys a workload's own
+        # mutations flush every pass (create/unlink/rename arguments)
+        # asymptotically stop being recorded, while steady hot paths
+        # stay eager.  Virtual charges are identical either way — the
+        # gate only defers when the memo starts trying to capture a
+        # path.
         score = self._miss_score
         streak = score.get(key, 0)
-        if streak < self._RECORD_AFTER:
+        if streak < self._RECORD_AFTER << min(self._burn.get(key, 0),
+                                              self._MAX_BURN):
             if len(score) > (self.capacity << 2):
                 score.clear()
             score[key] = streak + 1
@@ -260,6 +273,10 @@ class ResolutionMemo:
                 task, path, follow_last=follow_last,
                 intent_create=intent_create, create_dir=create_dir)
         score[key] = 0
+        burn = self._burn
+        if len(burn) > (self.capacity << 2):
+            burn.clear()
+        burn[key] = burn.get(key, 0) + 1
         return self._record(key, task, path, follow_last, intent_create,
                             create_dir)
 
@@ -286,9 +303,7 @@ class ResolutionMemo:
                    costs.counts, self.stats._counters)
             else:
                 costs.replay_compiled(compiled[1], compiled[2])
-                counters = self.stats._counters
-                for name, delta in entry.stat_deltas:
-                    counters[name] = counters.get(name, 0) + delta
+                self.stats.bump_many(entry.stat_deltas)
         lru = self.dcache._lru
         for dkey, dentry in compiled[3]:
             lru[dkey] = dentry
@@ -423,6 +438,9 @@ class ResolutionMemo:
                 entry, pos, exc, rec, deltas):
             entry.confirmed = True
             self._entries.move_to_end(key)
+            # The capture paid off: drop the recording backoff so the
+            # key stays eager after future flushes.
+            self._burn.pop(key, None)
         else:
             if self._entries.get(key) is entry:
                 del self._entries[key]
@@ -498,6 +516,7 @@ class ResolutionMemo:
         new._entries = OrderedDict()
         new._seqarr = new.dcache.arena.seq
         new._miss_score = {}
+        new._burn = {}
         new.hits = 0
         new.misses = 0
         new.stale = 0

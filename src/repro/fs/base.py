@@ -117,6 +117,23 @@ class FileSystem:
     #: Root inode number.
     root_ino = 1
 
+    #: Set by the VFS (one callback per superblock) so a file system
+    #: that recycles inode numbers can evict the stale VFS inode before
+    #: the number is reused; see :meth:`iget`/:meth:`iput`.
+    on_ino_reclaim = None
+
+    def iget(self, ino: int) -> None:
+        """VFS notification: an open file description now holds ``ino``.
+
+        Paired with :meth:`iput` (mirroring the dentry pin that keeps the
+        path alive).  File systems that defer resource reclamation past
+        unlink — Unix unlink-while-open semantics — use the pair to run
+        the final-iput cleanup; the default is a no-op.
+        """
+
+    def iput(self, ino: int) -> None:
+        """VFS notification: an open handle on ``ino`` went away."""
+
     def revalidate(self, dir_ino: int, name: str,
                    cached_ino: "Optional[int]") -> "Optional[NodeInfo]":
         """Revalidate a cached entry (only called when

@@ -15,6 +15,7 @@ leaf-block access regardless of size.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import errors
@@ -82,14 +83,26 @@ class SimExtFs(FileSystem):
         self._allocator = BlockAllocator(self.device.size_blocks, first_data)
         self._inodes: Dict[int, _Inode] = {}
         self._next_ino = 1
+        # Freed inode numbers, reused lowest-first like ext's inode
+        # bitmap.  Without reuse every delete/recreate cycle would march
+        # the inode table (and the allocation hints derived from it)
+        # monotonically across the disk, which no real FS does.
+        self._free_inos: List[int] = []
+        # Open-handle counts per inode (VFS iget/iput): a zero-nlink
+        # inode is reclaimed on the *final* iput, giving Unix
+        # unlink-while-open semantics.
+        self._nopen: Dict[int, int] = {}
         root = self._alloc_inode(base.S_IFDIR | 0o755, uid=0, gid=0)
         assert root.ino == self.root_ino
 
     # -- internal helpers -----------------------------------------------------
 
     def _alloc_inode(self, mode: int, uid: int, gid: int) -> _Inode:
-        ino = self._next_ino
-        self._next_ino += 1
+        if self._free_inos:
+            ino = heappop(self._free_inos)
+        else:
+            ino = self._next_ino
+            self._next_ino += 1
         inode = _Inode(ino, mode, uid, gid)
         inode.mtime_ns = self.costs.now_ns
         self._inodes[ino] = inode
@@ -266,9 +279,10 @@ class SimExtFs(FileSystem):
         inode = self._remove_entry(dir_ino, name)
         inode.nlink -= 1
         self._touch_inode_block(inode.ino, for_write=True)
-        # A zero-nlink inode becomes an orphan: the VFS may still hold
-        # open handles to it (Unix unlink-while-open semantics).  A real
-        # FS frees it on the final iput; the simulation retains it.
+        # A zero-nlink inode with open handles becomes an orphan (Unix
+        # unlink-while-open semantics); the final iput reclaims it.
+        if inode.nlink == 0 and not self._nopen.get(inode.ino):
+            self._reclaim(inode)
 
     def rmdir(self, dir_ino: int, name: str) -> None:
         self.costs.charge("fs_unlink")
@@ -287,6 +301,8 @@ class SimExtFs(FileSystem):
         child.entry_blocks = []
         child.nlink = 0
         directory.nlink -= 1
+        if not self._nopen.get(child.ino):
+            self._reclaim(child)
 
     def rename(self, old_dir: int, old_name: str, new_dir: int,
                new_name: str) -> None:
@@ -401,6 +417,36 @@ class SimExtFs(FileSystem):
             raise errors.ENOENT(message=f"no xattr {name!r}")
         del inode.xattrs[name]
         self._touch_inode_block(ino, for_write=True)
+
+    # -- inode lifetime --------------------------------------------------------
+
+    def iget(self, ino: int) -> None:
+        self._nopen[ino] = self._nopen.get(ino, 0) + 1
+
+    def iput(self, ino: int) -> None:
+        left = self._nopen.get(ino, 0) - 1
+        if left > 0:
+            self._nopen[ino] = left
+            return
+        self._nopen.pop(ino, None)
+        inode = self._inodes.get(ino)
+        if inode is not None and inode.nlink == 0:
+            self._reclaim(inode)
+
+    def _reclaim(self, inode: _Inode) -> None:
+        """Final release of a zero-nlink inode: return its blocks and
+        number to the free pools (no charge — bitmap updates ride the
+        already-charged mutation that dropped the last link)."""
+        del self._inodes[inode.ino]
+        for block in inode.data_blocks:
+            self._allocator.free(block)
+        inode.data_blocks = []
+        for block in inode.entry_blocks:
+            self._allocator.free(block)
+        inode.entry_blocks = []
+        heappush(self._free_inos, inode.ino)
+        if self.on_ino_reclaim is not None:
+            self.on_ino_reclaim(inode.ino)
 
     # -- cache management ------------------------------------------------------
 

@@ -79,6 +79,18 @@ class Ticker:
         """
         self._next_ns = self.clock._now_ns + self.interval_ns
 
+    def fires_within(self, ns: float) -> bool:
+        """True if advancing the clock by ``ns`` would reach the deadline.
+
+        Used by the charge-plan applier: a plan that covers a run of
+        syscalls may only be applied when none of the covered sweeper
+        polls would fire, i.e. when the whole covered advance stays
+        strictly short of the deadline.  Conservative by construction:
+        every poll inside the covered run happens at a time strictly
+        below ``now + ns``.
+        """
+        return self.clock._now_ns + ns >= self._next_ns
+
     # -- state capture (snapshot support) --------------------------------
 
     def capture_state(self) -> float:

@@ -137,6 +137,164 @@ class _ScopeGuard:
         self._stack.pop()
 
 
+class PlanRecording:
+    """Side-channel for a charge-plan capture run.
+
+    Mirrors the shape the :class:`CostModel` recorder protocol expects
+    (see :mod:`repro.core.resmemo`): ``events`` receives every
+    ``charge``/``charge_in``/``charge_ns`` tuple, ``lru`` dcache-LRU
+    touches, ``pcc`` PCC probe hits.  A capture whose ``lru``/``pcc``
+    lists are non-empty touched resolution-side state and is rejected
+    (charge plans cover only fd-table syscalls).
+    """
+
+    __slots__ = ("events", "lru", "pcc")
+
+    def __init__(self) -> None:
+        self.events: list = []
+        self.lru: list = []
+        self.pcc: list = []
+
+
+class ChargePlan:
+    """An immutable captured charge vector for one compiled-trace segment.
+
+    ``fn`` is a :meth:`CostModel.compile_replay_fn` straight-line
+    replayer for the segment's exact charge-event stream — applying it
+    is bit-identical to re-running the interpreted charges.
+    ``total_ns`` is the exact virtual time the plan advances (the
+    left-to-right float fold of its event nanoseconds), used for the
+    sweeper-deadline guard.  ``gen``/``rates_version`` snapshot the
+    validity epoch the plan was captured under.
+    """
+
+    __slots__ = ("fn", "stat_deltas", "total_ns", "gen", "rates_version")
+
+
+class PlanCell:
+    """Per-segment capture state machine (see ``workloads/traces.py``).
+
+    Lifecycle: ``execs`` warm executions run interpreted, then two
+    recorded executions must produce identical event streams and Stats
+    deltas before a :class:`ChargePlan` is compiled (the same
+    confirm-on-second-identical-run protocol the resolution memo uses).
+    ``retries`` counts rejected/mismatched captures; too many marks the
+    cell ``dead`` (permanently interpreted).  ``fail_streak`` counts
+    consecutive guard failures at apply time; too many invalidates the
+    plan for re-capture.  ``armed_now`` is used by whole-pass program
+    plans only: the exact clock value the kernel must be at for the plan
+    to apply (any interleaving syscall moves the clock off it).
+    """
+
+    __slots__ = ("execs", "pending", "plan", "dead", "retries",
+                 "fail_streak", "armed_now")
+
+    def __init__(self) -> None:
+        self.execs = 0
+        self.pending = None
+        self.plan = None
+        self.dead = False
+        self.retries = 0
+        self.fail_streak = 0
+        self.armed_now = None
+
+    def reset(self) -> None:
+        """Drop any captured state and restart the capture protocol."""
+        self.execs = 0
+        self.pending = None
+        self.plan = None
+        self.fail_streak = 0
+        self.armed_now = None
+
+
+class ChargePlanRegistry:
+    """Per-:class:`CostModel` store of captured charge plans.
+
+    The replay engine (:func:`repro.workloads.traces.replay_compiled`)
+    owns the capture/apply protocol; this registry owns the state: one
+    :class:`PlanCell` list per compiled program, a generation counter
+    bumped by out-of-band bulk invalidations (``chmod``-class memo
+    flushes, ``drop_caches``, seq wraparound — every live plan dies on
+    a bump), and host-side telemetry surfaced by ``repro-speed
+    --timing`` (``compiled``/``applied``/``invalidated``/``fallbacks``
+    — like the resolution memo's counters these live outside
+    :class:`~repro.sim.stats.Stats` so plans never perturb golden
+    counters).
+
+    Snapshots drop the registry: like the resolution memo, a clone
+    starts empty and re-captures from its own executions, which is
+    bit-identical by the plans-on/off differential invariant.
+    """
+
+    #: Interpreted executions of a segment before capture starts.
+    WARMUP = 1
+    #: Rejected/mismatched captures before a cell goes dead.
+    MAX_RETRIES = 3
+    #: Consecutive apply-time guard failures before re-capture.
+    MAX_FAIL_STREAK = 8
+    #: Whole-pass plans re-capture after this many consecutive clock
+    #: guard failures (interference means unknown state: re-validate).
+    PASS_FAIL_STREAK = 2
+
+    __slots__ = ("gen", "compiled", "applied", "invalidated", "fallbacks",
+                 "_tables", "_pass_tables")
+
+    def __init__(self) -> None:
+        self.gen = 0
+        self.compiled = 0
+        self.applied = 0
+        self.invalidated = 0
+        self.fallbacks = 0
+        #: id(program) -> (program, [PlanCell|None per segment]).  The
+        #: strong program ref pins the id against reuse; the identity
+        #: check in :meth:`cells` catches deepcopied tables.
+        self._tables: Dict[int, tuple] = {}
+        #: (id(program), id(task)) -> (program, task, PlanCell) for
+        #: whole-pass program plans; same pinning/identity discipline.
+        self._pass_tables: Dict[tuple, tuple] = {}
+
+    def bump_gen(self) -> None:
+        """Invalidate every live plan (out-of-band world change)."""
+        self.gen += 1
+
+    def cells(self, program, nsegments: int) -> list:
+        """The per-segment cell list for ``program`` (created lazily)."""
+        key = id(program)
+        entry = self._tables.get(key)
+        if entry is not None and entry[0] is program:
+            return entry[1]
+        cells: list = [None] * nsegments
+        self._tables[key] = (program, cells)
+        return cells
+
+    def pass_cell(self, program, task) -> "PlanCell":
+        """The whole-pass plan cell for ``(program, task)`` (lazy)."""
+        key = (id(program), id(task))
+        entry = self._pass_tables.get(key)
+        if entry is not None and entry[0] is program and entry[1] is task:
+            return entry[2]
+        cell = PlanCell()
+        self._pass_tables[key] = (program, task, cell)
+        return cell
+
+    def telemetry(self) -> Dict[str, int]:
+        return {"compiled": self.compiled, "applied": self.applied,
+                "invalidated": self.invalidated,
+                "fallbacks": self.fallbacks}
+
+    def __deepcopy__(self, memo) -> "ChargePlanRegistry":
+        """Snapshots drop captured plans: a clone starts empty.
+
+        Plans are pure host-side wall-clock state (exactly like
+        resolution-memo entries): an empty registry re-captures from
+        the restored kernel's own executions with bit-identical virtual
+        costs, so dropping is the provably faithful choice.
+        """
+        new = ChargePlanRegistry()
+        memo[id(self)] = new
+        return new
+
+
 class CostModel:
     """Charges virtual time for primitives and attributes it to scopes.
 
@@ -150,7 +308,7 @@ class CostModel:
 
     __slots__ = ("charges", "clock", "_scope_stack", "by_scope",
                  "by_primitive", "counts", "_rates", "_guards", "recorder",
-                 "rates_version")
+                 "rates_version", "plans")
 
     def __init__(self, charges: Optional[Dict[str, float]] = None,
                  clock: Optional[Clock] = None):
@@ -169,6 +327,9 @@ class CostModel:
         #: :meth:`compile_events` are tagged with it so a
         #: :meth:`recalibrate` invalidates them.
         self.rates_version = 0
+        #: Captured charge plans for compiled-trace segments (see
+        #: :class:`ChargePlanRegistry` and ``workloads/traces.py``).
+        self.plans = ChargePlanRegistry()
         self._rebuild_rates()
 
     def _rebuild_rates(self) -> None:

@@ -41,6 +41,13 @@ are pure host-side wall-clock state: an empty memo re-records from the
 restored kernel's own executions with bit-identical virtual costs, so
 dropping is both the simplest and the provably faithful choice (pinned
 by the snapshot-fidelity cases in ``tests/test_resolution_memo.py``).
+
+Captured charge plans (:class:`repro.sim.costs.ChargePlanRegistry`) are
+dropped on clone for the same reason: a plan's guards reference live
+objects (fds, inodes, the exact clock float) by identity, and plans are
+pure wall-clock state — the restored kernel re-warms and re-captures
+its own plans with bit-identical virtual costs (pinned by
+``tests/test_charge_plans.py``).
 """
 
 from __future__ import annotations

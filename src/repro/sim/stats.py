@@ -40,6 +40,22 @@ class Stats:
         counters = self._counters
         counters[name] = counters.get(name, 0) + by
 
+    def bump_many(self, deltas) -> None:
+        """Bulk-merge counter deltas in one call.
+
+        ``deltas`` is a mapping or an iterable of ``(name, delta)``
+        pairs.  Integer addition is associative, so folding a whole
+        delta set at once is exact — this is the hot-path form used by
+        the charge-plan applier and the resolution memo's replay path
+        instead of per-key :meth:`bump` loops.
+        """
+        counters = self._counters
+        get = counters.get
+        if isinstance(deltas, dict):
+            deltas = deltas.items()
+        for name, delta in deltas:
+            counters[name] = get(name, 0) + delta
+
     def get(self, name: str) -> int:
         return self._counters.get(name, 0)
 

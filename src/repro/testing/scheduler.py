@@ -26,6 +26,29 @@ from repro.core.kernel import Kernel
 from repro.vfs.walk import WalkHooks
 
 
+class StreamScheduler:
+    """Seeded unit-granularity scheduler for interleaved compiled replay.
+
+    Where :class:`ConcurrentRunner` interleaves *within* syscalls (walk
+    hooks, real threads), this scheduler interleaves *between* them: at
+    every step :func:`repro.workloads.traces.replay_interleaved` asks it
+    which of the currently live streams advances by one unit.  Picks are
+    uniform over live streams from a seeded RNG, so a given
+    ``(seed, stream count)`` pair always produces the identical
+    schedule — the determinism the ``multi_task_replay`` speed cell and
+    the cross-task invalidation tests rely on.
+    """
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def pick(self, alive: int) -> int:
+        """Index (``0 <= i < alive``) of the stream to advance next."""
+        return self._rng.randrange(alive)
+
+
 class _YieldingHooks(WalkHooks):
     """Delegating hooks that park the calling thread at every event."""
 

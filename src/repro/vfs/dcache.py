@@ -93,6 +93,10 @@ class Dcache:
         if table is None:
             table = InodeTable(fs)
             self._inode_tables[id(fs)] = table
+            # File systems that recycle inode numbers (simext's
+            # ext-style bitmap reuse) must evict the stale VFS inode
+            # before the number comes back; one callback per superblock.
+            fs.on_ino_reclaim = table.forget
         return table
 
     def root_dentry(self, fs: FileSystem) -> Dentry:

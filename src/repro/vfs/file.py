@@ -45,6 +45,9 @@ class File:
         self.dir_evictions_at_start = 0
         self.closed = False
         pos.dentry.pin()
+        inode = pos.dentry.inode
+        if inode is not None:
+            inode.fs.iget(inode.ino)
 
     @property
     def readable(self) -> bool:
@@ -58,6 +61,9 @@ class File:
         if not self.closed:
             self.closed = True
             self.pos.dentry.unpin()
+            inode = self.pos.dentry.inode
+            if inode is not None:
+                inode.fs.iput(inode.ino)
 
 
 class FdTable:

@@ -309,6 +309,9 @@ class Syscalls:
         memo = self._memo
         if memo is not None:
             memo.flush()
+        # The same out-of-band mutations invalidate captured charge
+        # plans: their guards cannot see mode/label/mount-table state.
+        self.costs.plans.bump_gen()
 
     def _dirfd_pos(self, task: Task, dirfd: Optional[int]) -> Optional[PathPos]:
         if dirfd is None:
@@ -379,7 +382,13 @@ class Syscalls:
         Free of charge: in a real kernel the VFS inode *is* the file
         system's in-memory inode, so these fields are already current.
         """
-        info = inode.fs.peek(inode.ino)
+        try:
+            info = inode.fs.peek(inode.ino)
+        except errors.FsError:
+            # The FS reclaimed the inode (final unlink, no open
+            # handles); the in-memory mirror just goes to zero links.
+            inode.nlink = 0
+            return
         inode.nlink = info.nlink
         inode.size = info.size
         inode.mtime_ns = info.mtime_ns

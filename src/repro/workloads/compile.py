@@ -37,7 +37,7 @@ import inspect
 import sys as _host_sys
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 from repro import O_CREAT, O_DIRECTORY, O_RDONLY, O_RDWR, errors, make_kernel
 from repro.core.kernel import Kernel
@@ -127,6 +127,99 @@ def _is_fd_marker(value: Any) -> bool:
             and value[0] == "fd" and isinstance(value[1], int))
 
 
+# -- charge-plan segmentation ---------------------------------------------
+
+#: Ops eligible for charge planning.  The criterion is *static charge
+#: behaviour*: given the apply-time guards (fd open, inode present,
+#: non-directory), these ops charge a fixed event stream independent of
+#: any state the guards cannot see.  ``read``/``write`` are excluded
+#: (pagecache/device charges), as is anything resolving a path.
+_PLAN_OPS = frozenset(["lseek", "fstat"])
+
+#: Minimum rows for a segment to be worth a plan: shorter runs pay more
+#: in guard checks and dispatch than the interpreted loop costs.
+_PLAN_MIN_ROWS = 6
+
+
+class PlanSegment(NamedTuple):
+    """A contiguous run of compiled rows coverable by one charge plan.
+
+    ``guards`` lists, per distinct fd slot the segment touches,
+    ``(slot, need_inode, need_not_dir)`` — the apply-time state checks
+    that make the captured charge stream provably reproducible
+    (``fstat`` needs a live inode, ``lseek`` must not hit the
+    directory-seek branch; both need an open, unclosed fd).  ``seeks``
+    lists ``(slot, offset)`` for the *final* ``lseek`` per slot — the
+    only host-visible state a planned segment mutates, applied in bulk
+    (intermediate offsets are unobservable inside the segment: no row
+    in a plannable segment reads the file offset).
+    """
+
+    start: int
+    end: int
+    guards: Tuple[Tuple[int, bool, bool], ...]
+    seeks: Tuple[Tuple[int, int], ...]
+
+
+def _plan_segments(op_table: Tuple[str, ...],
+                   rows: List[Tuple]) -> Tuple[PlanSegment, ...]:
+    """Statically segment compiled rows into charge-plannable runs.
+
+    Segmentation is a pure function of the program, so every replay —
+    plans on or off, single-stream or interleaved — sees identical
+    segment boundaries (the interleaved scheduler uses them as unit
+    boundaries, which is what keeps plan state orthogonal to the
+    schedule).
+    """
+    plannable_idx = {i for i, op in enumerate(op_table) if op in _PLAN_OPS}
+    if not plannable_idx:
+        return ()
+    lseek_idx = op_table.index("lseek") if "lseek" in op_table else -1
+    fstat_idx = op_table.index("fstat") if "fstat" in op_table else -1
+
+    def plannable(row) -> bool:
+        op_idx, args, patches, store, errno_exp, _compute, _pair = row
+        if op_idx not in plannable_idx or store != -1 \
+                or errno_exp is not None:
+            return False
+        # Exactly one fd patch, at argument 0 (the fd slot).
+        if patches is None or len(patches) != 1 or patches[0][0] != 0:
+            return False
+        if op_idx == lseek_idx:
+            return (len(args) == 2 and isinstance(args[1], int)
+                    and args[1] >= 0)
+        return len(args) == 1  # fstat
+
+    segments: List[PlanSegment] = []
+    n = len(rows)
+    i = 0
+    while i < n:
+        if not plannable(rows[i]):
+            i += 1
+            continue
+        j = i
+        while j < n and plannable(rows[j]):
+            j += 1
+        if j - i >= _PLAN_MIN_ROWS:
+            needs: Dict[int, List[bool]] = {}
+            finals: Dict[int, int] = {}
+            for row in rows[i:j]:
+                op_idx, args, patches, _s, _e, _c, _p = row
+                slot = patches[0][1]
+                need = needs.setdefault(slot, [False, False])
+                if op_idx == fstat_idx:
+                    need[0] = True
+                else:
+                    need[1] = True
+                    finals[slot] = args[1]
+            guards = tuple((slot, need[0], need[1])
+                           for slot, need in sorted(needs.items()))
+            seeks = tuple(sorted(finals.items()))
+            segments.append(PlanSegment(i, j, guards, seeks))
+        i = j
+    return tuple(segments)
+
+
 # -- the compiled program -------------------------------------------------
 
 @dataclass
@@ -157,6 +250,10 @@ class CompiledTrace:
     #: Host seconds spent compiling (reported by ``repro-speed
     #: --timing`` so compilation overhead cannot hide in op/s numbers).
     compile_wall_s: float
+    #: Statically derived charge-plannable runs (see
+    #: :class:`PlanSegment`); empty when nothing qualifies.  Duck-typed
+    #: programs without this attribute simply never plan.
+    plan_segments: Tuple[PlanSegment, ...] = ()
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -217,8 +314,10 @@ def compile_trace(trace: Trace) -> CompiledTrace:
             event.compute_ns,
             event.op == "mkstemp",
         ))
-    return CompiledTrace(op_table=tuple(op_table), rows=rows,
+    op_table_t = tuple(op_table)
+    return CompiledTrace(op_table=op_table_t, rows=rows,
                          slot_count=trace.slot_count(),
+                         plan_segments=_plan_segments(op_table_t, rows),
                          compile_wall_s=time.perf_counter() - t0)
 
 
@@ -360,7 +459,8 @@ def lower_lmbench(rounds: int = 3, profile: str = "baseline") -> Trace:
 
 def build_loop_trace(files: int = 16, io_rounds: int = 40,
                      subdirs: int = 4,
-                     profile: str = "baseline") -> Trace:
+                     profile: str = "baseline",
+                     root: str = "/loop") -> Trace:
     """Record a *self-undoing* iBench-shaped trace for benchmark loops.
 
     The composition follows the paper's §1 statistic — 10–20% of trace
@@ -380,7 +480,6 @@ def build_loop_trace(files: int = 16, io_rounds: int = 40,
     kernel = make_kernel(profile)
     task = kernel.spawn_task(uid=0, gid=0)
     rec = TraceRecorder(kernel, task)
-    root = "/loop"
     paths = [f"{root}/d{i % subdirs}/f{i:03d}" for i in range(files)]
 
     rec.mkdir(root)

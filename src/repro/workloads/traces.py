@@ -15,11 +15,13 @@ for storage and diffing.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import errors
 from repro.core.kernel import Kernel
+from repro.sim.costs import ChargePlan, PlanCell, PlanRecording, _RAW_NS
 from repro.vfs.task import Task
 
 #: Syscalls that perform a path lookup (the §1 statistic).
@@ -34,6 +36,63 @@ PATH_LOOKUP_OPS = frozenset([
 _FD_ARG_OPS = frozenset(["close", "read", "write", "lseek", "ftruncate",
                          "getdents", "fstat", "fchdir", "readdir",
                          "openat"])
+
+#: Environment switch for the charge-plan layer (CI differential gates
+#: set it to ``0``); explicit ``plans=`` arguments override it.
+_PLANS_ENV = "REPRO_CHARGE_PLANS"
+
+
+def _plans_enabled() -> bool:
+    return os.environ.get(_PLANS_ENV, "1").strip().lower() \
+        not in ("0", "off", "false", "no")
+
+
+#: Primitives a clean charge-plan capture may contain.  This whitelist
+#: is the soundness boundary: the fd fast entries for the plannable ops
+#: (``lseek``/``fstat``, see ``vfs/syscalls.py``) charge only these,
+#: and both are state-independent constants once the apply-time guards
+#: hold.  Any other primitive in a capture — a sweeper batch that fired
+#: mid-segment, a future charge added to those syscalls — rejects the
+#: capture, so plans fail closed.
+_PLAN_SAFE_PRIMITIVES = frozenset(["syscall_fixed", "stat_fill"])
+
+
+def _capture_clean(events) -> bool:
+    for event in events:
+        scope = event[0]
+        if scope is _RAW_NS:
+            if event[1] != "app_compute":
+                return False
+        elif scope is not None or event[1] not in _PLAN_SAFE_PRIMITIVES:
+            return False
+    return True
+
+
+#: Compiled plan replay functions keyed by (rate table, event stream).
+#: Shared across CostModel instances on purpose: benchmark repetitions
+#: restore snapshots whose captures produce byte-identical streams, so
+#: the exec-compile cost of a large whole-pass plan is paid once per
+#: distinct stream, not once per restored kernel.  The key includes the
+#: full rate table (not ``rates_version``, which is per-instance), so
+#: two models with different calibrations can never share a function.
+_FN_CACHE: Dict[Any, Tuple[Any, float]] = {}
+_FN_CACHE_MAX = 64
+
+
+def _plan_fn(costs, events: tuple) -> Tuple[Any, float]:
+    """(straight-line replay fn, exact total ns) for an event stream."""
+    key = (tuple(sorted(costs.charges.items())), events)
+    hit = _FN_CACHE.get(key)
+    if hit is None:
+        _version, crows, count_deltas = costs.compile_events(events)
+        fn = costs.compile_replay_fn(crows, count_deltas)
+        total = 0.0
+        for crow in crows:
+            total += crow[3]
+        if len(_FN_CACHE) >= _FN_CACHE_MAX:
+            _FN_CACHE.clear()
+        hit = _FN_CACHE[key] = (fn, total)
+    return hit
 
 
 def _normalize(value: Any) -> Any:
@@ -292,7 +351,8 @@ def replay(kernel: Kernel, task: Task, trace: Trace,
 
 
 def replay_compiled(kernel: Kernel, task: Task, program,
-                    strict: bool = True) -> None:
+                    strict: bool = True,
+                    plans: Optional[bool] = None) -> None:
     """Execute a :class:`~repro.workloads.compile.CompiledTrace`.
 
     Semantically identical to :func:`replay` of the source trace —
@@ -304,9 +364,48 @@ def replay_compiled(kernel: Kernel, task: Task, program,
     args are prefolded tuples, fd remaps are precomputed patch sites,
     and the errno check is branch-on-None.
 
+    On strict replays of compiled programs the charge-plan layer
+    additionally captures and applies charge plans at two granularities
+    — bit-identical virtual costs either way
+    (``tests/test_charge_plans.py`` is the differential gate), pure
+    wall-clock win.  ``plans`` forces the layer on/off; ``None`` reads
+    the ``REPRO_CHARGE_PLANS`` environment switch (default on).
+
+    1. *Whole-pass program plans* (:func:`_program_plan_pass`): for a
+       self-undoing trace replayed back to back on one quiescent kernel
+       — the benchmark loop shape — the entire pass's charge stream is
+       captured once (confirmed on a second identical recorded run) and
+       later passes apply one straight-line charge replay plus one bulk
+       Stats merge, guarded by the registry generation, the rate-table
+       version, and *exact clock equality* with the previous pass's end
+       (any interleaving syscall moves the clock and forces interpreted
+       fallback plus re-validation).  Disabled when a lazy sweeper
+       exists: its deadlines drift relative to pass boundaries, so a
+       full pass's stream is never stable under one.
+
+    2. *Per-segment plans* (:func:`_compiled_units`) for programs
+       carrying ``plan_segments``: runs of fd-table syscalls captured
+       and applied under per-fd guards — the granularity
+       :func:`replay_interleaved` schedules, and the fallback whenever
+       whole-pass planning is unavailable.
+
     ``program`` is duck-typed (``op_table``, ``rows``, ``slot_count``)
-    so this module need not import the compiler.
+    so this module need not import the compiler; programs without
+    ``plan_segments`` replay exactly as before.
     """
+    if strict and getattr(program, "plan_segments", None) is not None:
+        if plans is None:
+            plans = _plans_enabled()
+        if plans and kernel.costs.recorder is None:
+            registry = kernel.costs.plans
+            if kernel.sweeper is None and _program_plan_pass(
+                    kernel, task, program, registry):
+                return
+            if program.plan_segments:
+                for _ in _compiled_units(kernel, task, program, registry,
+                                         fine=False):
+                    pass
+                return
     batch = kernel.sys.batch(task)
     methods = [getattr(batch, name) for name in program.op_table]
     slot_fds: List[int] = [-1] * program.slot_count
@@ -367,3 +466,380 @@ def replay_compiled(kernel: Kernel, task: Task, program,
         op_idx = program.rows[index][0]
         raise ReplayDivergence(index, program.op_table[op_idx],
                                None, exc.errno) from exc
+
+
+def _program_plan_pass(kernel: Kernel, task: Task, program,
+                       registry) -> bool:
+    """Whole-pass charge-plan protocol; True iff this pass was executed.
+
+    A compiled trace replayed strictly in a loop must reach the same
+    outcomes every pass (strict replay raises on any divergence), and a
+    *self-undoing* trace returns the file system, fd table, and cwd to
+    their starting state — so in the absence of outside interference
+    every pass charges the identical event stream.  This captures that
+    stream once (warm pass, then two recorded passes that must match
+    event-for-event and in Stats deltas) and thereafter applies the
+    whole pass as one straight-line charge replay plus one bulk Stats
+    merge.
+
+    Soundness rests on the quiescence guard rather than a per-charge
+    whitelist: the plan applies only when the virtual clock sits at the
+    *exact* float value the previous pass ended on.  Every syscall
+    charges at least one primitive, so any interleaving activity on the
+    kernel moves the clock off that value and forces interpreted
+    fallback; repeated failures drop the plan and re-enter capture
+    against the changed world.  Out-of-band invalidations
+    (``drop_caches``, ``chmod``-class memo flushes, recalibration) are
+    caught by the generation/rates guards.  Captures that leave the fd
+    table changed (a non-self-undoing trace) are rejected: freezing
+    host state would starve the next pass.
+
+    Applied passes advance the clock, ``by_primitive``/``by_scope``,
+    ``counts``, and Stats bit-identically to interpreted execution, and
+    leave kernel object state untouched — which for a self-undoing
+    trace is exactly the state the next pass starts from.  Host-side
+    telemetry outside those surfaces (page-cache hit counters, memo
+    counters) does not advance during applied passes.
+    """
+    costs = kernel.costs
+    if costs._scope_stack:
+        return False
+    cell = registry.pass_cell(program, task)
+    if cell.dead:
+        return False
+    clock = costs.clock
+    plan = cell.plan
+    if plan is not None:
+        if plan.gen != registry.gen \
+                or plan.rates_version != costs.rates_version:
+            registry.invalidated += 1
+            cell.reset()
+            return False
+        if clock._now_ns != cell.armed_now:
+            registry.fallbacks += 1
+            cell.fail_streak += 1
+            if cell.fail_streak >= registry.PASS_FAIL_STREAK:
+                registry.invalidated += 1
+                cell.reset()
+            return False
+        plan.fn(clock, costs.by_primitive, costs.by_scope, costs.counts,
+                None)
+        if plan.stat_deltas:
+            kernel.stats.bump_many(plan.stat_deltas)
+        cell.armed_now = clock._now_ns
+        cell.fail_streak = 0
+        registry.applied += 1
+        return True
+    n = cell.execs
+    cell.execs = n + 1
+    if n < registry.WARMUP:
+        return False
+    # Capture: record one full interpreted pass (plans=False disables
+    # both plan granularities underneath; the attached recorder also
+    # makes the resolution memo bypass itself, so the stream equals
+    # ground-truth interpreted charging).
+    rec = PlanRecording()
+    stats = kernel.stats
+    before = dict(stats._counters)
+    fds_before = frozenset(task.fds._files)
+    costs.recorder = rec
+    try:
+        replay_compiled(kernel, task, program, strict=True, plans=False)
+    finally:
+        costs.recorder = None
+    if costs._scope_stack or frozenset(task.fds._files) != fds_before:
+        cell.pending = None
+        cell.retries += 1
+        if cell.retries > registry.MAX_RETRIES:
+            cell.dead = True
+        return True
+    deltas = []
+    for name, value in stats._counters.items():
+        delta = value - before.get(name, 0)
+        if delta:
+            deltas.append((name, delta))
+    deltas.sort()
+    capture = (tuple(rec.events), tuple(deltas))
+    pending = cell.pending
+    if pending is None:
+        cell.pending = capture
+    elif pending == capture:
+        fn, total = _plan_fn(costs, capture[0])
+        plan = ChargePlan()
+        plan.fn = fn
+        plan.stat_deltas = capture[1]
+        plan.total_ns = total
+        plan.gen = registry.gen
+        plan.rates_version = costs.rates_version
+        cell.plan = plan
+        cell.pending = None
+        cell.fail_streak = 0
+        cell.armed_now = clock._now_ns
+        registry.compiled += 1
+    else:
+        cell.pending = capture
+        cell.retries += 1
+        if cell.retries > registry.MAX_RETRIES:
+            cell.dead = True
+            cell.pending = None
+    return True
+
+
+def _compiled_units(kernel: Kernel, task: Task, program, registry,
+                    fine: bool):
+    """Strict compiled replay as a generator, one yield per unit.
+
+    Unit boundaries are a *static* function of the program: each
+    charge-plannable segment is one unit, everything between segments
+    is one unit (or, with ``fine``, one unit per row — the granularity
+    :func:`replay_interleaved` schedules at).  Plan state never moves a
+    boundary, so interleavings are identical with plans on or off.
+
+    The charge-plan protocol per segment (state in
+    :class:`~repro.sim.costs.PlanCell`):
+
+    1. *Warm*: the first execution runs interpreted (first executions
+       populate fd-table/inode state the capture should not see).
+    2. *Capture*: the next two executions run interpreted with the
+       charge recorder attached; both must produce the identical event
+       stream and Stats deltas — the resolution memo's
+       confirm-on-second-identical-run protocol.  Captures containing
+       anything outside the plannable-op whitelist (a lazy sweep that
+       fired mid-segment, an LRU/PCC touch, a scope-attributed charge)
+       are rejected and retried; repeated rejection marks the segment
+       permanently interpreted.
+    3. *Guarded apply*: later executions check the registry generation,
+       the rate-table version, per-fd-slot liveness (open, unclosed,
+       inode present, non-directory — the exact branch conditions of
+       the fd fast entries), and that no sweeper deadline falls inside
+       the plan's virtual span; then apply the precompiled straight-line
+       charge replay, the bulk Stats merge, and the segment's final
+       ``lseek`` offsets.  Any guard failure falls back to interpreted
+       execution for that pass; a streak of failures re-enters capture.
+    """
+    costs = kernel.costs
+    batch = kernel.sys.batch(task)
+    methods = [getattr(batch, name) for name in program.op_table]
+    slot_fds: List[int] = [-1] * program.slot_count
+    charge_ns = costs.charge_ns
+    fs_error = errors.FsError
+    rows = program.rows
+    op_table = program.op_table
+    segments = getattr(program, "plan_segments", ()) or ()
+    stats = kernel.stats
+    clock = costs.clock
+    sweeper = kernel.sweeper
+    ticker = sweeper.ticker if sweeper is not None else None
+    files = task.fds._files
+    scope_stack = costs._scope_stack
+    cells = (registry.cells(program, len(segments))
+             if registry is not None and segments else None)
+
+    def run_rows(lo: int, hi: int) -> None:
+        index = lo
+        try:
+            for index in range(lo, hi):
+                op_idx, args, patches, store, errno_exp, compute, pair \
+                    = rows[index]
+                if compute:
+                    charge_ns("app_compute", compute)
+                if patches is not None:
+                    for arg_idx, slot in patches:
+                        args[arg_idx] = slot_fds[slot]
+                if errno_exp is None:
+                    result = methods[op_idx](*args)
+                    if store >= 0:
+                        slot_fds[store] = result[0] if pair else result
+                else:
+                    try:
+                        methods[op_idx](*args)
+                    except fs_error as exc:
+                        if exc.errno != errno_exp:
+                            raise ReplayDivergence(
+                                index, op_table[op_idx], errno_exp,
+                                exc.errno, f"args={tuple(args)!r}") from exc
+                    else:
+                        raise ReplayDivergence(
+                            index, op_table[op_idx], errno_exp, None,
+                            f"args={tuple(args)!r}")
+        except ReplayDivergence:
+            raise
+        except fs_error as exc:
+            raise ReplayDivergence(index, op_table[rows[index][0]],
+                                   None, exc.errno) from exc
+
+    pos = 0
+    for seg_i, seg in enumerate(segments):
+        start = seg.start
+        if pos < start:
+            if fine:
+                for i in range(pos, start):
+                    run_rows(i, i + 1)
+                    yield
+            else:
+                run_rows(pos, start)
+                yield
+        pos = seg.end
+        if cells is None:
+            run_rows(start, pos)
+            yield
+            continue
+        cell = cells[seg_i]
+        if cell is None:
+            cell = cells[seg_i] = PlanCell()
+        plan = cell.plan
+        if plan is not None:
+            if plan.gen == registry.gen \
+                    and plan.rates_version == costs.rates_version:
+                ok = not scope_stack
+                if ok:
+                    for slot, need_inode, need_not_dir in seg.guards:
+                        f = files.get(slot_fds[slot])
+                        if f is None or f.closed:
+                            ok = False
+                            break
+                        if need_inode or need_not_dir:
+                            inode = f.pos.dentry.inode
+                            if inode is None:
+                                if need_inode:
+                                    ok = False
+                                    break
+                            elif need_not_dir and inode.is_dir:
+                                ok = False
+                                break
+                # The +1 ns pad absorbs float-fold discrepancies between
+                # total_ns and the per-event accumulation: padding only
+                # ever forces an (always-sound) interpreted fallback.
+                if ok and ticker is not None \
+                        and ticker.fires_within(plan.total_ns + 1.0):
+                    ok = False
+                if ok:
+                    plan.fn(clock, costs.by_primitive, costs.by_scope,
+                            costs.counts, None)
+                    if plan.stat_deltas:
+                        stats.bump_many(plan.stat_deltas)
+                    for slot, offset in seg.seeks:
+                        files[slot_fds[slot]].offset = offset
+                    registry.applied += 1
+                    cell.fail_streak = 0
+                    yield
+                    continue
+                registry.fallbacks += 1
+                cell.fail_streak += 1
+                if cell.fail_streak >= registry.MAX_FAIL_STREAK:
+                    registry.invalidated += 1
+                    cell.reset()
+            else:
+                # Out-of-band invalidation (gen bump) or recalibration:
+                # drop the plan and re-enter capture.
+                registry.invalidated += 1
+                cell.reset()
+            run_rows(start, pos)
+            yield
+            continue
+        if cell.dead or costs.recorder is not None:
+            run_rows(start, pos)
+            yield
+            continue
+        n = cell.execs
+        cell.execs = n + 1
+        if n < registry.WARMUP:
+            run_rows(start, pos)
+            yield
+            continue
+        # Capture execution: interpreted, with the recorder attached.
+        rec = PlanRecording()
+        before = dict(stats._counters)
+        costs.recorder = rec
+        try:
+            run_rows(start, pos)
+        finally:
+            costs.recorder = None
+        events = tuple(rec.events)
+        if rec.lru or rec.pcc or not _capture_clean(events):
+            cell.pending = None
+            cell.retries += 1
+            if cell.retries > registry.MAX_RETRIES:
+                cell.dead = True
+            yield
+            continue
+        deltas = []
+        for name, value in stats._counters.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                deltas.append((name, delta))
+        deltas.sort()
+        capture = (events, tuple(deltas))
+        pending = cell.pending
+        if pending is None:
+            cell.pending = capture
+        elif pending == capture:
+            fn, total = _plan_fn(costs, events)
+            plan = ChargePlan()
+            plan.fn = fn
+            plan.stat_deltas = capture[1]
+            plan.total_ns = total
+            plan.gen = registry.gen
+            plan.rates_version = costs.rates_version
+            cell.plan = plan
+            cell.pending = None
+            cell.fail_streak = 0
+            registry.compiled += 1
+        else:
+            cell.pending = capture
+            cell.retries += 1
+            if cell.retries > registry.MAX_RETRIES:
+                cell.dead = True
+                cell.pending = None
+        yield
+    n_rows = len(rows)
+    if pos < n_rows:
+        if fine:
+            for i in range(pos, n_rows):
+                run_rows(i, i + 1)
+                yield
+        else:
+            run_rows(pos, n_rows)
+            yield
+
+
+def replay_interleaved(kernel: Kernel,
+                       streams: Sequence[Tuple[Task, Any]],
+                       seed: int = 0, strict: bool = True,
+                       plans: Optional[bool] = None) -> None:
+    """Replay N compiled per-task programs interleaved on one kernel.
+
+    ``streams`` is a sequence of ``(task, program)`` pairs — distinct
+    :class:`~repro.vfs.task.Task` objects (own creds, cwds, fd tables)
+    against a single kernel.  Execution proceeds unit-by-unit under a
+    seeded :class:`~repro.testing.scheduler.StreamScheduler`: each step
+    advances one stream by one unit (one row, or one whole
+    charge-plannable segment — boundaries are static, see
+    :func:`_compiled_units`), so the interleaving is deterministic for
+    a given seed and identical with plans on or off.
+
+    Charge plans are validated per task at apply time (fd-table guards
+    read through the executing stream's slots), and captured plans are
+    shared across streams replaying the same program object.  A
+    mutation by one task that bumps the plan registry's generation
+    (``chmod``-class memo flushes, ``drop_caches``) invalidates plans
+    held by every other stream — the cross-task coherence slice of the
+    multi-tenant traffic engine.
+    """
+    if not strict:
+        raise ValueError("interleaved replay supports strict mode only")
+    if plans is None:
+        plans = _plans_enabled()
+    registry = kernel.costs.plans \
+        if plans and kernel.costs.recorder is None else None
+    from repro.testing.scheduler import StreamScheduler
+    units = [_compiled_units(kernel, task, prog, registry, fine=True)
+             for task, prog in streams]
+    scheduler = StreamScheduler(seed)
+    alive = list(range(len(units)))
+    while alive:
+        pick = scheduler.pick(len(alive))
+        try:
+            next(units[alive[pick]])
+        except StopIteration:
+            alive.pop(pick)
