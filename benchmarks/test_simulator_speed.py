@@ -6,6 +6,12 @@ benchmark runs on all three kernel profiles (``baseline``, eager
 ``optimized``, epoch-based ``optimized-lazy``) so each committed key in
 ``BENCH_simspeed.json`` has a pytest result behind it — ``repro-speed
 --check`` fails loudly on any baseline key with no mapped result.
+
+The replay-loop benchmarks build their kernels with
+``lazy_sweep_quantize=True``, matching ``repro.bench.speed`` — the
+quantized mode is what keeps the ``optimized-lazy`` replay cells on the
+charge-plan fast path (see ``docs/coherence.md``), and the committed
+baseline numbers are generated the same way.
 """
 
 import pytest
@@ -167,7 +173,7 @@ def test_trace_replay_wallclock(benchmark, profile):
     """
     from repro.workloads.compile import build_loop_trace, compile_trace
     from repro.workloads.traces import replay_compiled
-    kernel = make_kernel(profile)
+    kernel = make_kernel(profile, lazy_sweep_quantize=True)
     task = kernel.spawn_task(uid=0, gid=0)
     program = compile_trace(build_loop_trace(profile=profile))
     replay_compiled(kernel, task, program)  # warm caches + fd numbering
@@ -186,7 +192,7 @@ def test_multi_task_replay_wallclock(benchmark, profile):
     """
     from repro.workloads.compile import build_loop_trace, compile_trace
     from repro.workloads.traces import replay_interleaved
-    kernel = make_kernel(profile)
+    kernel = make_kernel(profile, lazy_sweep_quantize=True)
     streams = []
     for i in range(120):
         task = kernel.spawn_task(uid=0, gid=0)
@@ -197,3 +203,25 @@ def test_multi_task_replay_wallclock(benchmark, profile):
         streams.append((task, compile_trace(trace)))
     replay_interleaved(kernel, streams, seed=0)  # warm caches + fds
     benchmark(replay_interleaved, kernel, streams, seed=0)
+
+
+@pytest.mark.parametrize("profile",
+                         ["baseline", "optimized", "optimized-lazy"])
+def test_server_fleet_wallclock(benchmark, profile):
+    """Interleaved drain of a six-tenant webserver/maildir fleet.
+
+    The heavyweight multi-tenant cell: Zipf-skewed request volume over
+    tenants with real content and a 10% mutating request mix, recorded
+    per tenant and drained through ``replay_interleaved`` — the engine
+    behind ``exp_tenant_crossover``.  Provisioning, recording, and
+    trace compilation happen outside the timed loop; one benchmark
+    round is one full fleet drain.
+    """
+    from repro.workloads import server_fleet
+    from repro.workloads.traces import replay_interleaved
+    kernel = make_kernel(profile, lazy_sweep_quantize=True)
+    fleet = server_fleet.build_fleet(kernel, 6, total_requests=48,
+                                     mutation_rate=0.1, seed=3)
+    streams = fleet.streams
+    replay_interleaved(kernel, streams, seed=fleet.seed)  # warm
+    benchmark(replay_interleaved, kernel, streams, seed=fleet.seed)

@@ -22,8 +22,9 @@ Modes:
 ``repro-speed [--output BENCH_simspeed.json] [--jobs N] [--memo on|off]``
     Run the benchmark loops (warm stat, stat/rename churn,
     create/unlink, readdir, rename-invalidation, rename-churn,
-    compiled trace replay, interleaved multi-task replay, and warm
-    snapshot restore on all three kernel profiles) and write median
+    compiled trace replay, interleaved multi-task replay, a
+    multi-tenant server-fleet drain, and warm snapshot restore on all
+    three kernel profiles) and write median
     microseconds-per-operation to a JSON file.  The committed
     ``BENCH_simspeed.json`` at the repo root
     is generated this way.  ``--only name,name`` restricts the run
@@ -59,6 +60,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import gc
 import json
 import os
 import pstats
@@ -70,7 +72,7 @@ from typing import Callable, Dict, List, Tuple
 from repro import O_CREAT, O_RDWR, make_kernel
 from repro.bench import parallel
 from repro.sim.snapshot import KernelSnapshot
-from repro.workloads import lmbench
+from repro.workloads import lmbench, server_fleet
 from repro.workloads.compile import build_loop_trace, compile_trace
 from repro.workloads.traces import replay_compiled, replay_interleaved
 from repro.workloads.tree import build_flat_dir
@@ -89,9 +91,22 @@ def _memo_enabled() -> bool:
         not in ("off", "0", "false")
 
 
-def _make(profile: str):
-    """Benchmark kernel honouring the ``--memo`` switch."""
-    return make_kernel(profile, resolution_memo=_memo_enabled())
+def _make(profile: str, quantize: bool = False):
+    """Benchmark kernel honouring the ``--memo`` switch.
+
+    The replay-loop cells pass ``quantize=True`` to enable
+    :attr:`~repro.core.kernel.DcacheConfig.lazy_sweep_quantize`: lazy
+    sweep charges are batched at replay-pass boundaries instead of
+    firing mid-pass, which keeps the ``optimized-lazy`` replay cells on
+    the charge-plan fast path (see ``docs/coherence.md``).  A no-op on
+    the non-lazy profiles.  Quantized virtual totals differ from
+    non-quantized ones by design, so the switch is per-cell and baked
+    into the committed baseline, never toggled between runs.
+    """
+    kwargs = {"resolution_memo": _memo_enabled()}
+    if quantize:
+        kwargs["lazy_sweep_quantize"] = True
+    return make_kernel(profile, **kwargs)
 
 
 def _plans_enabled() -> bool:
@@ -144,6 +159,10 @@ PYTEST_NAME_MAP = {
         "multi_task_replay[optimized]",
     "test_multi_task_replay_wallclock[optimized-lazy]":
         "multi_task_replay[optimized-lazy]",
+    "test_server_fleet_wallclock[baseline]": "server_fleet[baseline]",
+    "test_server_fleet_wallclock[optimized]": "server_fleet[optimized]",
+    "test_server_fleet_wallclock[optimized-lazy]":
+        "server_fleet[optimized-lazy]",
     "test_stat_churn_wallclock[baseline]": "stat_churn[baseline]",
     "test_stat_churn_wallclock[optimized]": "stat_churn[optimized]",
     "test_stat_churn_wallclock[optimized-lazy]": "stat_churn[optimized-lazy]",
@@ -304,8 +323,13 @@ def _setup_trace_replay(profile: str) -> SetupResult:
     ``--timing`` so it cannot hide in these op/s numbers.  The trace
     ends in the filesystem state it started from with every fd closed,
     so back-to-back replays on one kernel are deterministic.
+
+    Runs with quantized lazy sweeping (see :func:`_make`) so the
+    ``optimized-lazy`` cell replays through whole-pass charge plans
+    instead of interpreting every pass — mid-pass sweep ticks are what
+    used to keep it off the fast path.
     """
-    kernel = _make(profile)
+    kernel = _make(profile, quantize=True)
     task = kernel.spawn_task(uid=0, gid=0)
     trace = build_loop_trace(profile=profile)
     program = compile_trace(trace)
@@ -330,9 +354,11 @@ def _setup_multi_task_replay(profile: str) -> SetupResult:
     unit.  Scheduling is deterministic (fixed seed), so virtual results
     are byte-identical across runs and ``--jobs`` values.  The timed op
     is one full drain of all 120 streams; compilation happens here in
-    setup, like ``trace_replay``.
+    setup, like ``trace_replay``.  Quantized lazy sweeping (see
+    :func:`_make`) keeps the drain eligible for whole-drain charge
+    plans on every profile.
     """
-    kernel = _make(profile)
+    kernel = _make(profile, quantize=True)
     tasks = []
     programs = []
     for i in range(120):
@@ -354,6 +380,36 @@ def _setup_multi_task_replay(profile: str) -> SetupResult:
         return op
 
     return kernel, tasks, bind
+
+
+def _setup_server_fleet(profile: str) -> SetupResult:
+    """Interleaved drain of a multi-tenant webserver/maildir fleet.
+
+    The heavyweight sibling of ``multi_task_replay``: six tenants with
+    real content (docroots, mailboxes), Zipf-skewed request volume, and
+    a 10% mutating request mix (docroot rotations, maildir flag flips,
+    mailbox renames) recorded per tenant and drained through
+    :func:`~repro.workloads.traces.replay_interleaved` — the engine
+    behind ``exp_tenant_crossover``.  Provisioning, recording, and
+    trace compilation all happen here in setup; the timed op is one
+    full fleet drain.  Quantized lazy sweeping (see :func:`_make`)
+    keeps the drain plan-eligible on ``optimized-lazy``.
+    """
+    kernel = _make(profile, quantize=True)
+    fleet = server_fleet.build_fleet(kernel, 6, total_requests=48,
+                                     mutation_rate=0.1, seed=3)
+    server_fleet.drain_fleet(kernel, fleet)  # warm
+
+    # The whole FleetSetup is the snapshot extra: it pins the admin and
+    # tenant tasks, whose credential PCCs the lazy sweeper examines —
+    # letting any of them die would tie virtual charges to GC timing.
+    def bind(kernel, fleet) -> Callable[[], None]:
+        def op() -> None:
+            server_fleet.drain_fleet(kernel, fleet)
+
+        return op
+
+    return kernel, fleet, bind
 
 
 def _setup_stat_churn(profile: str) -> SetupResult:
@@ -432,7 +488,8 @@ BENCHMARKS: List[Tuple[str, Callable[[str], SetupResult], int]] = [
     ("rename_inval", _setup_rename_inval, 1_000),
     ("rename_churn", _setup_rename_churn, 500),
     ("trace_replay", _setup_trace_replay, 25),
-    ("multi_task_replay", _setup_multi_task_replay, 4),
+    ("multi_task_replay", _setup_multi_task_replay, 20),
+    ("server_fleet", _setup_server_fleet, 20),
     ("snapshot_restore", _setup_snapshot_restore, 200),
 ]
 
@@ -448,17 +505,33 @@ def _measure(setup: Callable[[str], SetupResult], profile: str,
     The kernel is built and warmed once; each repetition restores the
     warm snapshot (identical state, no rebuild) and times only the op
     loop.
+
+    Cyclic-GC pauses are kept out of the timed loops (``timeit``-style:
+    collect once after setup, then disable the collector until the reps
+    finish).  Without this, a cell's numbers depend on how much garbage
+    *earlier* cells left in the process — gen-2 collections triggered
+    mid-loop were inflating late-matrix cells by 2–3× in full-suite
+    runs.  Reference counting still frees acyclic garbage immediately,
+    and the collector is re-enabled (and runs at the next threshold)
+    the moment the cell ends; virtual output is untouched either way.
     """
     kernel, task, bind = setup(profile)
     snap = KernelSnapshot(kernel, task)
     samples = []
-    for _ in range(reps):
-        rep_kernel, rep_task = snap.restore()
-        op = bind(rep_kernel, rep_task)
-        t0 = time.perf_counter()
-        for _ in range(n):
-            op()
-        samples.append((time.perf_counter() - t0) / n * 1e6)
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            rep_kernel, rep_task = snap.restore()
+            op = bind(rep_kernel, rep_task)
+            t0 = time.perf_counter()
+            for _ in range(n):
+                op()
+            samples.append((time.perf_counter() - t0) / n * 1e6)
+    finally:
+        if was_enabled:
+            gc.enable()
     return statistics.median(samples)
 
 
@@ -620,8 +693,10 @@ def _print_plan_appendix() -> None:
     if not _plans_enabled():
         print("charge plans disabled (--plans off / REPRO_CHARGE_PLANS)")
         return
-    print("| profile | compiled | applied | invalidated | fallbacks |")
-    print("|---------|----------|---------|-------------|-----------|")
+    print("| profile | compiled | applied | task_confirms "
+          "| invalidated | fallbacks |")
+    print("|---------|----------|---------|---------------"
+          "|-------------|-----------|")
     for profile in PROFILES:
         kernel, task, bind = _setup_trace_replay(profile)
         op = bind(kernel, task)
@@ -633,7 +708,8 @@ def _print_plan_appendix() -> None:
         for key, value in mt_kernel.costs.plans.telemetry().items():
             tel[key] = tel.get(key, 0) + value
         print(f"| {profile} | {tel['compiled']} | {tel['applied']} "
-              f"| {tel['invalidated']} | {tel['fallbacks']} |")
+              f"| {tel['task_confirms']} | {tel['invalidated']} "
+              f"| {tel['fallbacks']} |")
 
 
 # -- regression check -----------------------------------------------------

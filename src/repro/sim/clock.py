@@ -58,7 +58,7 @@ class Ticker:
     (e.g. syscall entry) and run one batch when the interval elapsed.
     """
 
-    __slots__ = ("clock", "interval_ns", "_next_ns")
+    __slots__ = ("clock", "interval_ns", "_next_ns", "suspended")
 
     def __init__(self, clock: Clock, interval_ns: float):
         if interval_ns <= 0:
@@ -66,9 +66,17 @@ class Ticker:
         self.clock = clock
         self.interval_ns = interval_ns
         self._next_ns = clock.now_ns + interval_ns
+        # While suspended, due()/fires_within() report False so polled
+        # work is deferred; the deadline itself keeps aging.  Used by
+        # the lazy-sweep quantization mode (DcacheConfig
+        # lazy_sweep_quantize), which holds sweeps until a replay-pass
+        # boundary and runs one full catch-up sweep there.
+        self.suspended = False
 
     def due(self) -> bool:
         """True when at least one interval elapsed since the last fire."""
+        if self.suspended:
+            return False
         return self.clock._now_ns >= self._next_ns
 
     def fire(self) -> None:
@@ -89,6 +97,8 @@ class Ticker:
         every poll inside the covered run happens at a time strictly
         below ``now + ns``.
         """
+        if self.suspended:
+            return False
         return self.clock._now_ns + ns >= self._next_ns
 
     # -- state capture (snapshot support) --------------------------------

@@ -146,14 +146,24 @@ class PlanRecording:
     touches, ``pcc`` PCC probe hits.  A capture whose ``lru``/``pcc``
     lists are non-empty touched resolution-side state and is rejected
     (charge plans cover only fd-table syscalls).
+
+    ``boundary``/``fired`` are stamped by the quantized-sweep wrapper in
+    ``workloads/traces.py`` when a recorded replay pass crosses a
+    lazy-sweep pass boundary: ``boundary`` is the event index where the
+    boundary catch-up sweep's charges begin and ``fired`` whether the
+    sweeper's deadline had elapsed there.  Whole-pass/whole-drain plan
+    captures split their compiled replay at that index so apply can
+    emulate the ticker exactly (see ``_program_plan_pass``).
     """
 
-    __slots__ = ("events", "lru", "pcc")
+    __slots__ = ("events", "lru", "pcc", "boundary", "fired")
 
     def __init__(self) -> None:
         self.events: list = []
         self.lru: list = []
         self.pcc: list = []
+        self.boundary = None
+        self.fired = None
 
 
 class ChargePlan:
@@ -166,9 +176,25 @@ class ChargePlan:
     left-to-right float fold of its event nanoseconds), used for the
     sweeper-deadline guard.  ``gen``/``rates_version`` snapshot the
     validity epoch the plan was captured under.
+
+    ``capture`` retains the raw ``(events, stat_deltas)`` tuple the plan
+    was compiled from, so task-generic segment plans can *confirm* a new
+    task against it (the task's first encounter runs interpreted and
+    recorded; an identical stream admits the task to the shared plan —
+    see ``workloads/traces.py``).
+
+    ``fn2``/``q_fired``/``body_ns`` exist only on quantized whole-pass /
+    whole-drain plans (``DcacheConfig.lazy_sweep_quantize``): ``fn`` then
+    replays the pass *body*, ``fn2`` the boundary catch-up sweep's
+    charges (``None`` when the sweep charged nothing), ``q_fired``
+    whether the sweeper deadline elapsed at the boundary, and
+    ``body_ns`` the body's float-fold total for the boundary-decision
+    guard.  Non-quantized plans carry ``q_fired is None`` and
+    ``body_ns == total_ns``.
     """
 
-    __slots__ = ("fn", "stat_deltas", "total_ns", "gen", "rates_version")
+    __slots__ = ("fn", "stat_deltas", "total_ns", "gen", "rates_version",
+                 "capture", "fn2", "q_fired", "body_ns")
 
 
 class PlanCell:
@@ -184,10 +210,16 @@ class PlanCell:
     plan for re-capture.  ``armed_now`` is used by whole-pass program
     plans only: the exact clock value the kernel must be at for the plan
     to apply (any interleaving syscall moves the clock off it).
+
+    ``tasks`` (task-generic segment cells, shared across every program
+    with the same segment shape) maps ``id(task) -> task`` for tasks
+    whose recorded execution matched the plan's capture — only confirmed
+    tasks may apply the shared plan; the strong task refs pin the ids
+    against reuse.
     """
 
     __slots__ = ("execs", "pending", "plan", "dead", "retries",
-                 "fail_streak", "armed_now")
+                 "fail_streak", "armed_now", "tasks")
 
     def __init__(self) -> None:
         self.execs = 0
@@ -197,6 +229,7 @@ class PlanCell:
         self.retries = 0
         self.fail_streak = 0
         self.armed_now = None
+        self.tasks: Dict[int, object] = {}
 
     def reset(self) -> None:
         """Drop any captured state and restart the capture protocol."""
@@ -205,6 +238,7 @@ class PlanCell:
         self.plan = None
         self.fail_streak = 0
         self.armed_now = None
+        self.tasks = {}
 
 
 class ChargePlanRegistry:
@@ -237,7 +271,8 @@ class ChargePlanRegistry:
     PASS_FAIL_STREAK = 2
 
     __slots__ = ("gen", "compiled", "applied", "invalidated", "fallbacks",
-                 "_tables", "_pass_tables")
+                 "task_confirms", "_tables", "_pass_tables",
+                 "_shape_tables", "_drain_tables")
 
     def __init__(self) -> None:
         self.gen = 0
@@ -245,27 +280,79 @@ class ChargePlanRegistry:
         self.applied = 0
         self.invalidated = 0
         self.fallbacks = 0
-        #: id(program) -> (program, [PlanCell|None per segment]).  The
+        #: Tasks admitted to a shared task-generic plan after their
+        #: recorded run matched the plan's capture.
+        self.task_confirms = 0
+        #: id(program) -> (program, [PlanCell per segment]).  The
         #: strong program ref pins the id against reuse; the identity
-        #: check in :meth:`cells` catches deepcopied tables.
+        #: check in :meth:`cells` catches deepcopied tables.  Cell
+        #: objects are resolved through ``_shape_tables`` so programs
+        #: with equal segment shapes share them.
         self._tables: Dict[int, tuple] = {}
         #: (id(program), id(task)) -> (program, task, PlanCell) for
         #: whole-pass program plans; same pinning/identity discipline.
         self._pass_tables: Dict[tuple, tuple] = {}
+        #: segment shape -> PlanCell: the task-generic cells.  A shape
+        #: (per-row ``(op, compute_ns)``, see ``PlanSegment.shape``)
+        #: fully determines a plannable segment's charge stream, so one
+        #: captured plan serves every program/tenant with that shape
+        #: (after per-task confirmation recorded in ``PlanCell.tasks``).
+        self._shape_tables: Dict[tuple, "PlanCell"] = {}
+        #: (seed, ((id(task), id(program)), ...)) -> (pins, PlanCell)
+        #: for whole-drain interleaved plans; ``pins`` holds strong
+        #: (task, program) refs against id reuse.
+        self._drain_tables: Dict[tuple, tuple] = {}
 
     def bump_gen(self) -> None:
         """Invalidate every live plan (out-of-band world change)."""
         self.gen += 1
 
-    def cells(self, program, nsegments: int) -> list:
-        """The per-segment cell list for ``program`` (created lazily)."""
+    def cells(self, program, segments) -> list:
+        """The per-segment cell list for ``program`` (created lazily).
+
+        Each entry is the *shared* task-generic cell for that segment's
+        shape — two programs whose segments have equal shapes resolve to
+        the same :class:`PlanCell` objects, which is what lets N tenants
+        replaying the same program shape capture one plan between them.
+        Segments without a shape (older duck-typed programs) fall back
+        to a private cell.
+        """
         key = id(program)
         entry = self._tables.get(key)
         if entry is not None and entry[0] is program:
             return entry[1]
-        cells: list = [None] * nsegments
+        shape_tables = self._shape_tables
+        cells: list = []
+        for seg in segments:
+            shape = getattr(seg, "shape", None)
+            if shape:
+                cell = shape_tables.get(shape)
+                if cell is None:
+                    cell = shape_tables[shape] = PlanCell()
+            else:
+                cell = PlanCell()
+            cells.append(cell)
         self._tables[key] = (program, cells)
         return cells
+
+    def drain_cell(self, streams, seed: int) -> "PlanCell":
+        """The whole-drain plan cell for an interleaved stream set.
+
+        Keyed by the scheduler seed and the exact ``(task, program)``
+        identity sequence: the drain's charge stream is a deterministic
+        function of those plus kernel state, which the armed-clock guard
+        covers.
+        """
+        key = (seed, tuple((id(task), id(prog)) for task, prog in streams))
+        entry = self._drain_tables.get(key)
+        if entry is not None:
+            pins, cell = entry
+            if all(pin_t is task and pin_p is prog
+                   for (pin_t, pin_p), (task, prog) in zip(pins, streams)):
+                return cell
+        cell = PlanCell()
+        self._drain_tables[key] = (tuple((t, p) for t, p in streams), cell)
+        return cell
 
     def pass_cell(self, program, task) -> "PlanCell":
         """The whole-pass plan cell for ``(program, task)`` (lazy)."""
@@ -280,7 +367,8 @@ class ChargePlanRegistry:
     def telemetry(self) -> Dict[str, int]:
         return {"compiled": self.compiled, "applied": self.applied,
                 "invalidated": self.invalidated,
-                "fallbacks": self.fallbacks}
+                "fallbacks": self.fallbacks,
+                "task_confirms": self.task_confirms}
 
     def __deepcopy__(self, memo) -> "ChargePlanRegistry":
         """Snapshots drop captured plans: a clone starts empty.

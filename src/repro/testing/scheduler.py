@@ -37,6 +37,15 @@ class StreamScheduler:
     ``(seed, stream count)`` pair always produces the identical
     schedule — the determinism the ``multi_task_replay`` speed cell and
     the cross-task invalidation tests rely on.
+
+    When every stream's unit count is statically known (compiled
+    programs — unit boundaries are a pure function of the program),
+    :meth:`plan_schedule` precomputes the entire pick sequence as flat
+    run-length-coalesced arrays, letting the drain loop advance streams
+    in runs instead of paying one RNG call plus one generator dispatch
+    per unit.  The planned schedule is *pick-for-pick identical* to
+    driving :meth:`pick` dynamically (``tests/test_server_fleet.py``
+    asserts this), so vectorization cannot change any interleaving.
     """
 
     __slots__ = ("_rng",)
@@ -47,6 +56,64 @@ class StreamScheduler:
     def pick(self, alive: int) -> int:
         """Index (``0 <= i < alive``) of the stream to advance next."""
         return self._rng.randrange(alive)
+
+    # -- RNG state capture (mid-drain kernel clones) ---------------------
+
+    def snapshot(self):
+        """Opaque RNG state token for :meth:`restore`.
+
+        A kernel snapshot taken mid-schedule can capture the scheduler
+        alongside (``sim/snapshot.py`` extras); restoring both replays
+        the identical remaining pick sequence, so a cloned drain cannot
+        diverge from the original.
+        """
+        return self._rng.getstate()
+
+    def restore(self, state) -> None:
+        """Restore a previously captured RNG state verbatim."""
+        self._rng.setstate(state)
+
+    # -- static schedule planning ----------------------------------------
+
+    def plan_schedule(self, unit_counts) -> "Tuple[List[int], List[int]]":
+        """Precompute the full drain schedule as flat (stream, run) arrays.
+
+        Simulates the exact dynamic algorithm the unit-by-unit drain
+        loop uses — one ``randrange(len(alive))`` per step over a
+        shrinking alive list, where a pick landing on an exhausted
+        stream *consumes an RNG draw* and retires the stream without
+        advancing anything (the dynamic loop discovers exhaustion via
+        ``StopIteration`` on that extra pick).  Because the RNG draws
+        happen in the same order with the same bounds, the resulting
+        advance sequence is identical to the dynamic loop's, and the
+        scheduler's RNG ends in the identical state.
+
+        Consecutive picks of the same stream are coalesced into runs:
+        the return value is ``(streams, runs)`` where stream
+        ``streams[i]`` advances ``runs[i]`` units, in order.
+        """
+        remaining = list(unit_counts)
+        alive = list(range(len(remaining)))
+        streams: List[int] = []
+        runs: List[int] = []
+        randrange = self._rng.randrange
+        last = -1
+        while alive:
+            i = randrange(len(alive))
+            s = alive[i]
+            if remaining[s] == 0:
+                # The dynamic loop's StopIteration pick: retire, no work.
+                alive.pop(i)
+                last = -1  # a retirement breaks any coalescable run
+                continue
+            remaining[s] -= 1
+            if s == last:
+                runs[-1] += 1
+            else:
+                streams.append(s)
+                runs.append(1)
+                last = s
+        return streams, runs
 
 
 class _YieldingHooks(WalkHooks):

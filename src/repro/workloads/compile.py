@@ -153,12 +153,21 @@ class PlanSegment(NamedTuple):
     only host-visible state a planned segment mutates, applied in bulk
     (intermediate offsets are unobservable inside the segment: no row
     in a plannable segment reads the file offset).
+
+    ``shape`` is the segment's charge-stream identity: a per-row tuple
+    of ``(op_name, compute_ns)``.  Under the apply-time guards, the fast
+    fd entries for ``lseek``/``fstat`` charge fixed primitive streams
+    with no Stats bumps, so two segments with equal shapes produce equal
+    charge vectors on *any* task and *any* fd binding — the key that
+    lets tenants running the same program shape share one captured plan
+    (task-generic plan cells in :class:`ChargePlanRegistry`).
     """
 
     start: int
     end: int
     guards: Tuple[Tuple[int, bool, bool], ...]
     seeks: Tuple[Tuple[int, int], ...]
+    shape: Tuple[Tuple[str, float], ...] = ()
 
 
 def _plan_segments(op_table: Tuple[str, ...],
@@ -215,7 +224,8 @@ def _plan_segments(op_table: Tuple[str, ...],
             guards = tuple((slot, need[0], need[1])
                            for slot, need in sorted(needs.items()))
             seeks = tuple(sorted(finals.items()))
-            segments.append(PlanSegment(i, j, guards, seeks))
+            shape = tuple((op_table[row[0]], row[5]) for row in rows[i:j])
+            segments.append(PlanSegment(i, j, guards, seeks, shape))
         i = j
     return tuple(segments)
 

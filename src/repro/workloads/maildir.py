@@ -85,6 +85,60 @@ def mark_operation(kernel: Kernel, task: Task, setup: MaildirSetup,
     _sync_mailbox(kernel, task, f"{box}/cur")
 
 
+def mark_unmark_operation(kernel: Kernel, task: Task, setup: MaildirSetup,
+                          rng: random.Random) -> None:
+    """A STORE pair: flag a random message, sync, unflag it, sync.
+
+    Same per-operation cache work as two :func:`mark_operation` calls,
+    but the filesystem ends exactly where it started — the message is
+    back under its original name.  Self-undoing operations are what let
+    a recorded tenant request stream replay any number of times on one
+    kernel (see :mod:`repro.workloads.server_fleet`).
+    """
+    box = setup.mailboxes[rng.randrange(len(setup.mailboxes))]
+    names = setup.messages[box]
+    name = names[rng.randrange(len(names))]
+    flipped = name[:-1] if name.endswith("S") else name + "S"
+    kernel.costs.charge_ns("imap_compute", OP_FIXED_NS)
+    kernel.sys.stat(task, f"{box}/cur/{name}")
+    kernel.sys.rename(task, f"{box}/cur/{name}", f"{box}/cur/{flipped}")
+    _sync_mailbox(kernel, task, f"{box}/cur")
+    kernel.costs.charge_ns("imap_compute", OP_FIXED_NS)
+    kernel.sys.rename(task, f"{box}/cur/{flipped}", f"{box}/cur/{name}")
+    _sync_mailbox(kernel, task, f"{box}/cur")
+
+
+def folder_rename_operation(kernel: Kernel, task: Task,
+                            setup: MaildirSetup,
+                            rng: random.Random) -> None:
+    """An IMAP RENAME pair: move a whole mailbox aside, then back.
+
+    Renaming a *directory* is where the coherence strategies diverge
+    hardest (§5.1): the eager profile shoots down every cached dentry
+    under the mailbox — ``cur``/``new``/``tmp`` plus one per message —
+    per-dentry at rename time, while the lazy profile bumps an epoch
+    and pays per-entry revalidation only as the following syncs touch
+    the subtree again.  The pair restores the original name, so the
+    operation is self-undoing like :func:`mark_unmark_operation`.
+
+    Unlike the flag operations, a RENAME does not re-read the mailbox:
+    Dovecot rewrites its index and checks ``new/`` for races, so the
+    syncs here list the (normally empty) ``new/`` directory.  The cost
+    of the operation is therefore dominated by the *coherence* work the
+    rename triggers, not by per-message compute — which is exactly what
+    makes it the probe for the eager/lazy crossover
+    (``bench/exp_tenant_crossover.py``).
+    """
+    box = setup.mailboxes[rng.randrange(len(setup.mailboxes))]
+    aside = f"{box}.tmp-rename"
+    kernel.costs.charge_ns("imap_compute", OP_FIXED_NS)
+    kernel.sys.rename(task, box, aside)
+    _sync_mailbox(kernel, task, f"{aside}/new")
+    kernel.costs.charge_ns("imap_compute", OP_FIXED_NS)
+    kernel.sys.rename(task, aside, box)
+    _sync_mailbox(kernel, task, f"{box}/new")
+
+
 def deliver_operation(kernel: Kernel, task: Task, setup: MaildirSetup,
                       rng: random.Random, seq: int) -> None:
     """MDA delivery: drop a message in new/, server moves it to cur/."""

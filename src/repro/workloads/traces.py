@@ -21,7 +21,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import errors
 from repro.core.kernel import Kernel
-from repro.sim.costs import ChargePlan, PlanCell, PlanRecording, _RAW_NS
+from repro.sim.costs import ChargePlan, PlanRecording, _RAW_NS
 from repro.vfs.task import Task
 
 #: Syscalls that perform a path lookup (the §1 statistic).
@@ -350,292 +350,213 @@ def replay(kernel: Kernel, task: Task, trace: Trace,
             slot_fds[event.returns_fd_slot] = fd
 
 
-def replay_compiled(kernel: Kernel, task: Task, program,
-                    strict: bool = True,
-                    plans: Optional[bool] = None) -> None:
-    """Execute a :class:`~repro.workloads.compile.CompiledTrace`.
+# ---------------------------------------------------------------------------
+# Compiled replay engine
+# ---------------------------------------------------------------------------
 
-    Semantically identical to :func:`replay` of the source trace —
-    same syscalls, same order, same compute charges, hence bit-identical
-    virtual costs and Stats (``tests/test_compiled_replay.py`` is the
-    differential gate) — but the per-event interpretation work is gone:
-    op dispatch is an index into a prebound method table (built once per
-    replay from a :meth:`~repro.vfs.syscalls.Syscalls.batch` prologue),
-    args are prefolded tuples, fd remaps are precomputed patch sites,
-    and the errno check is branch-on-None.
 
-    On strict replays of compiled programs the charge-plan layer
-    additionally captures and applies charge plans at two granularities
-    — bit-identical virtual costs either way
-    (``tests/test_charge_plans.py`` is the differential gate), pure
-    wall-clock win.  ``plans`` forces the layer on/off; ``None`` reads
-    the ``REPRO_CHARGE_PLANS`` environment switch (default on).
+def _quantized(kernel: Kernel, body) -> None:
+    """Run ``body`` as one quantized replay pass when configured.
 
-    1. *Whole-pass program plans* (:func:`_program_plan_pass`): for a
-       self-undoing trace replayed back to back on one quiescent kernel
-       — the benchmark loop shape — the entire pass's charge stream is
-       captured once (confirmed on a second identical recorded run) and
-       later passes apply one straight-line charge replay plus one bulk
-       Stats merge, guarded by the registry generation, the rate-table
-       version, and *exact clock equality* with the previous pass's end
-       (any interleaving syscall moves the clock and forces interpreted
-       fallback plus re-validation).  Disabled when a lazy sweeper
-       exists: its deadlines drift relative to pass boundaries, so a
-       full pass's stream is never stable under one.
+    Under ``DcacheConfig.lazy_sweep_quantize`` the lazy sweeper's ticker
+    is suspended for the duration of ``body`` and one full catch-up
+    sweep (:meth:`~repro.core.coherence.LazySweeper.sweep_all`) runs at
+    the boundary — *every* boundary, not only when the deadline elapsed
+    inside the pass.  The unconditional fire is what makes a pass's
+    charge stream a pure function of its start state — the precondition
+    for whole-pass and whole-drain charge plans under a lazy kernel: a
+    deadline-conditioned fire would make consecutive passes alternate
+    between fired and unfired captures (the 1 ms deadline drifts mod
+    pass length), so confirm-twice could never stabilize.  It is a
+    deliberate semantic tradeoff (see ``docs/coherence.md``): lazy
+    numbers under quantization are *not* comparable to non-quantized
+    lazy numbers, but plans-on and plans-off stay bit-identical within
+    the mode.  The ticker re-arms at each boundary, so ambient
+    per-syscall polls between passes stay quiet.
 
-    2. *Per-segment plans* (:func:`_compiled_units`) for programs
-       carrying ``plan_segments``: runs of fd-table syscalls captured
-       and applied under per-fd guards — the granularity
-       :func:`replay_interleaved` schedules, and the fallback whenever
-       whole-pass planning is unavailable.
-
-    ``program`` is duck-typed (``op_table``, ``rows``, ``slot_count``)
-    so this module need not import the compiler; programs without
-    ``plan_segments`` replay exactly as before.
+    No-op (straight call) when there is no sweeper, when the mode is
+    off, or when already inside an outer quantized region.  When a plan
+    recorder is attached, the boundary position and fired-ness are
+    stamped on it so captures can compile split body/sweep replay
+    functions (:func:`_compile_pass_plan`).
     """
-    if strict and getattr(program, "plan_segments", None) is not None:
-        if plans is None:
-            plans = _plans_enabled()
-        if plans and kernel.costs.recorder is None:
-            registry = kernel.costs.plans
-            if kernel.sweeper is None and _program_plan_pass(
-                    kernel, task, program, registry):
-                return
-            if program.plan_segments:
-                for _ in _compiled_units(kernel, task, program, registry,
-                                         fine=False):
-                    pass
-                return
-    batch = kernel.sys.batch(task)
-    methods = [getattr(batch, name) for name in program.op_table]
-    slot_fds: List[int] = [-1] * program.slot_count
-    charge_ns = kernel.costs.charge_ns
-    fs_error = errors.FsError
-
-    if not strict:
-        # Lenient path: mirror replay(strict=False) — unexpected
-        # outcomes are ignored and the stream continues.
-        for op_idx, args, patches, store, errno_exp, compute, pair \
-                in program.rows:
-            if compute:
-                charge_ns("app_compute", compute)
-            if patches is not None:
-                for arg_idx, slot in patches:
-                    args[arg_idx] = slot_fds[slot]
-            try:
-                result = methods[op_idx](*args)
-            except fs_error:
-                continue
-            if store >= 0 and errno_exp is None:
-                slot_fds[store] = result[0] if pair else result
+    sweeper = kernel.sweeper
+    if sweeper is None or not kernel.config.lazy_sweep_quantize:
+        body()
         return
-
-    index = -1
+    ticker = sweeper.ticker
+    if ticker.suspended:
+        body()
+        return
+    ticker.suspended = True
     try:
-        # Row layout (see compile.py): op_idx, args, patches, store_slot,
-        # expected_errno, compute_ns, unpack_pair.  Events expected to
-        # succeed run with NO per-event try/except — the hoisted outer
-        # handler converts a stray FsError into a ReplayDivergence —
-        # while expected-error events (the minority) keep a local one.
-        # Patched args stay a list across calls (f(*list) binds the same
-        # as f(*tuple)); only the patch sites are rewritten per event.
-        for index, (op_idx, args, patches, store, errno_exp, compute,
-                    pair) in enumerate(program.rows):
-            if compute:
-                charge_ns("app_compute", compute)
-            if patches is not None:
-                for arg_idx, slot in patches:
-                    args[arg_idx] = slot_fds[slot]
-            if errno_exp is None:
-                result = methods[op_idx](*args)
-                if store >= 0:
-                    slot_fds[store] = result[0] if pair else result
-            else:
-                try:
-                    methods[op_idx](*args)
-                except fs_error as exc:
-                    if exc.errno != errno_exp:
-                        raise ReplayDivergence(
-                            index, program.op_table[op_idx], errno_exp,
-                            exc.errno, f"args={tuple(args)!r}") from exc
-                else:
-                    raise ReplayDivergence(
-                        index, program.op_table[op_idx], errno_exp,
-                        None, f"args={tuple(args)!r}")
-    except fs_error as exc:
-        op_idx = program.rows[index][0]
-        raise ReplayDivergence(index, program.op_table[op_idx],
-                               None, exc.errno) from exc
-
-
-def _program_plan_pass(kernel: Kernel, task: Task, program,
-                       registry) -> bool:
-    """Whole-pass charge-plan protocol; True iff this pass was executed.
-
-    A compiled trace replayed strictly in a loop must reach the same
-    outcomes every pass (strict replay raises on any divergence), and a
-    *self-undoing* trace returns the file system, fd table, and cwd to
-    their starting state — so in the absence of outside interference
-    every pass charges the identical event stream.  This captures that
-    stream once (warm pass, then two recorded passes that must match
-    event-for-event and in Stats deltas) and thereafter applies the
-    whole pass as one straight-line charge replay plus one bulk Stats
-    merge.
-
-    Soundness rests on the quiescence guard rather than a per-charge
-    whitelist: the plan applies only when the virtual clock sits at the
-    *exact* float value the previous pass ended on.  Every syscall
-    charges at least one primitive, so any interleaving activity on the
-    kernel moves the clock off that value and forces interpreted
-    fallback; repeated failures drop the plan and re-enter capture
-    against the changed world.  Out-of-band invalidations
-    (``drop_caches``, ``chmod``-class memo flushes, recalibration) are
-    caught by the generation/rates guards.  Captures that leave the fd
-    table changed (a non-self-undoing trace) are rejected: freezing
-    host state would starve the next pass.
-
-    Applied passes advance the clock, ``by_primitive``/``by_scope``,
-    ``counts``, and Stats bit-identically to interpreted execution, and
-    leave kernel object state untouched — which for a self-undoing
-    trace is exactly the state the next pass starts from.  Host-side
-    telemetry outside those surfaces (page-cache hit counters, memo
-    counters) does not advance during applied passes.
-    """
-    costs = kernel.costs
-    if costs._scope_stack:
-        return False
-    cell = registry.pass_cell(program, task)
-    if cell.dead:
-        return False
-    clock = costs.clock
-    plan = cell.plan
-    if plan is not None:
-        if plan.gen != registry.gen \
-                or plan.rates_version != costs.rates_version:
-            registry.invalidated += 1
-            cell.reset()
-            return False
-        if clock._now_ns != cell.armed_now:
-            registry.fallbacks += 1
-            cell.fail_streak += 1
-            if cell.fail_streak >= registry.PASS_FAIL_STREAK:
-                registry.invalidated += 1
-                cell.reset()
-            return False
-        plan.fn(clock, costs.by_primitive, costs.by_scope, costs.counts,
-                None)
-        if plan.stat_deltas:
-            kernel.stats.bump_many(plan.stat_deltas)
-        cell.armed_now = clock._now_ns
-        cell.fail_streak = 0
-        registry.applied += 1
-        return True
-    n = cell.execs
-    cell.execs = n + 1
-    if n < registry.WARMUP:
-        return False
-    # Capture: record one full interpreted pass (plans=False disables
-    # both plan granularities underneath; the attached recorder also
-    # makes the resolution memo bypass itself, so the stream equals
-    # ground-truth interpreted charging).
-    rec = PlanRecording()
-    stats = kernel.stats
-    before = dict(stats._counters)
-    fds_before = frozenset(task.fds._files)
-    costs.recorder = rec
-    try:
-        replay_compiled(kernel, task, program, strict=True, plans=False)
+        body()
     finally:
-        costs.recorder = None
-    if costs._scope_stack or frozenset(task.fds._files) != fds_before:
-        cell.pending = None
-        cell.retries += 1
-        if cell.retries > registry.MAX_RETRIES:
-            cell.dead = True
-        return True
+        ticker.suspended = False
+    rec = kernel.costs.recorder
+    if rec is not None:
+        rec.boundary = len(rec.events)
+        rec.fired = True
+    ticker.fire()
+    sweeper.sweep_all()
+
+
+def _new_plan(fn, stat_deltas, total_ns, gen, rates_version, capture=None,
+              fn2=None, q_fired=None, body_ns=None) -> ChargePlan:
+    plan = ChargePlan()
+    plan.fn = fn
+    plan.stat_deltas = stat_deltas
+    plan.total_ns = total_ns
+    plan.gen = gen
+    plan.rates_version = rates_version
+    plan.capture = capture
+    plan.fn2 = fn2
+    plan.q_fired = q_fired
+    plan.body_ns = total_ns if body_ns is None else body_ns
+    return plan
+
+
+def _stat_deltas(stats, before) -> tuple:
     deltas = []
     for name, value in stats._counters.items():
         delta = value - before.get(name, 0)
         if delta:
             deltas.append((name, delta))
     deltas.sort()
-    capture = (tuple(rec.events), tuple(deltas))
-    pending = cell.pending
-    if pending is None:
-        cell.pending = capture
-    elif pending == capture:
-        fn, total = _plan_fn(costs, capture[0])
-        plan = ChargePlan()
-        plan.fn = fn
-        plan.stat_deltas = capture[1]
-        plan.total_ns = total
-        plan.gen = registry.gen
-        plan.rates_version = costs.rates_version
-        cell.plan = plan
-        cell.pending = None
-        cell.fail_streak = 0
-        cell.armed_now = clock._now_ns
-        registry.compiled += 1
-    else:
-        cell.pending = capture
-        cell.retries += 1
-        if cell.retries > registry.MAX_RETRIES:
-            cell.dead = True
-            cell.pending = None
-    return True
+    return tuple(deltas)
 
 
-def _compiled_units(kernel: Kernel, task: Task, program, registry,
-                    fine: bool):
-    """Strict compiled replay as a generator, one yield per unit.
+def _compile_pass_plan(costs, registry, capture) -> ChargePlan:
+    """Compile a confirmed whole-pass/whole-drain capture into a plan.
 
-    Unit boundaries are a *static* function of the program: each
-    charge-plannable segment is one unit, everything between segments
-    is one unit (or, with ``fine``, one unit per row — the granularity
-    :func:`replay_interleaved` schedules at).  Plan state never moves a
-    boundary, so interleavings are identical with plans on or off.
-
-    The charge-plan protocol per segment (state in
-    :class:`~repro.sim.costs.PlanCell`):
-
-    1. *Warm*: the first execution runs interpreted (first executions
-       populate fd-table/inode state the capture should not see).
-    2. *Capture*: the next two executions run interpreted with the
-       charge recorder attached; both must produce the identical event
-       stream and Stats deltas — the resolution memo's
-       confirm-on-second-identical-run protocol.  Captures containing
-       anything outside the plannable-op whitelist (a lazy sweep that
-       fired mid-segment, an LRU/PCC touch, a scope-attributed charge)
-       are rejected and retried; repeated rejection marks the segment
-       permanently interpreted.
-    3. *Guarded apply*: later executions check the registry generation,
-       the rate-table version, per-fd-slot liveness (open, unclosed,
-       inode present, non-directory — the exact branch conditions of
-       the fd fast entries), and that no sweeper deadline falls inside
-       the plan's virtual span; then apply the precompiled straight-line
-       charge replay, the bulk Stats merge, and the segment's final
-       ``lseek`` offsets.  Any guard failure falls back to interpreted
-       execution for that pass; a streak of failures re-enters capture.
+    Non-quantized captures (``boundary is None``) compile to a single
+    straight-line function.  Quantized captures split at the stamped
+    boundary: ``fn`` replays the body's charges, ``fn2`` (when the
+    boundary sweep fired and charged anything) replays the catch-up
+    sweep's charges, and apply emulates the ticker in between
+    (:func:`_apply_plan`).
     """
-    costs = kernel.costs
-    batch = kernel.sys.batch(task)
-    methods = [getattr(batch, name) for name in program.op_table]
-    slot_fds: List[int] = [-1] * program.slot_count
-    charge_ns = costs.charge_ns
-    fs_error = errors.FsError
-    rows = program.rows
-    op_table = program.op_table
-    segments = getattr(program, "plan_segments", ()) or ()
-    stats = kernel.stats
-    clock = costs.clock
-    sweeper = kernel.sweeper
-    ticker = sweeper.ticker if sweeper is not None else None
-    files = task.fds._files
-    scope_stack = costs._scope_stack
-    cells = (registry.cells(program, len(segments))
-             if registry is not None and segments else None)
+    events, deltas, boundary, fired = capture
+    if boundary is None:
+        fn, total = _plan_fn(costs, events)
+        return _new_plan(fn, deltas, total, registry.gen,
+                         costs.rates_version, capture=capture)
+    body_fn, body_ns = _plan_fn(costs, events[:boundary])
+    fn2 = None
+    total = body_ns
+    if boundary < len(events):
+        fn2, sweep_ns = _plan_fn(costs, events[boundary:])
+        total = body_ns + sweep_ns
+    return _new_plan(body_fn, deltas, total, registry.gen,
+                     costs.rates_version, capture=capture, fn2=fn2,
+                     q_fired=fired, body_ns=body_ns)
 
-    def run_rows(lo: int, hi: int) -> None:
+
+#: Static unit tables keyed by (id(program), fine) with identity check.
+#: A unit is a half-open row range plus the index of the plan segment it
+#: covers (-1 for gap rows).  ``fine=True`` splits gaps into single-row
+#: units — the granularity the interleaved scheduler picks at — while
+#: ``fine=False`` keeps gaps as one unit each for single-stream replay.
+_UNIT_CACHE: Dict[Tuple[int, bool], Tuple[Any, tuple]] = {}
+_UNIT_CACHE_MAX = 256
+
+
+def _unit_table(program, fine: bool) -> tuple:
+    key = (id(program), fine)
+    entry = _UNIT_CACHE.get(key)
+    if entry is not None and entry[0] is program:
+        return entry[1]
+    segments = getattr(program, "plan_segments", ()) or ()
+    units: List[Tuple[int, int, int]] = []
+    pos = 0
+    for seg_i, seg in enumerate(segments):
+        start = seg.start
+        if pos < start:
+            if fine:
+                units.extend((i, i + 1, -1) for i in range(pos, start))
+            else:
+                units.append((pos, start, -1))
+        units.append((start, seg.end, seg_i))
+        pos = seg.end
+    n = len(program.rows)
+    if pos < n:
+        if fine:
+            units.extend((i, i + 1, -1) for i in range(pos, n))
+        else:
+            units.append((pos, n, -1))
+    if len(_UNIT_CACHE) >= _UNIT_CACHE_MAX:
+        _UNIT_CACHE.clear()
+    _UNIT_CACHE[key] = (program, tuple(units))
+    return _UNIT_CACHE[key][1]
+
+
+#: Precomputed interleaving schedules keyed by (seed, unit counts).  The
+#: schedule depends on nothing else, and the multi-tenant benchmarks
+#: replay the same stream population thousands of times.
+_SCHEDULE_CACHE: Dict[Any, Tuple[List[int], List[int]]] = {}
+_SCHEDULE_CACHE_MAX = 64
+
+
+def _drain_schedule(seed: int, unit_counts: tuple):
+    key = (seed, unit_counts)
+    hit = _SCHEDULE_CACHE.get(key)
+    if hit is None:
+        from repro.testing.scheduler import StreamScheduler
+        if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+            _SCHEDULE_CACHE.clear()
+        hit = StreamScheduler(seed).plan_schedule(unit_counts)
+        _SCHEDULE_CACHE[key] = hit
+    return hit
+
+
+class _StreamState:
+    """One stream's bound replay state, advanced a run of units at a time.
+
+    Construction binds everything the drain loop needs — the prebound
+    batch method table, the fd slot table, the static unit table and the
+    (possibly shape-shared) per-segment plan cells — so advancing is
+    attribute-local work with no per-unit rebinding.  The interleaved
+    drain keeps per-stream state in parallel arrays (struct-of-arrays,
+    the same layout argument as ``core/arena.py``) and dispatches one
+    :meth:`advance` per scheduled run.
+    """
+
+    __slots__ = ("kernel", "task", "program", "methods", "slot_fds",
+                 "units", "cursor", "cells", "segments", "registry",
+                 "costs", "stats", "clock", "ticker", "files", "rows",
+                 "op_table")
+
+    def __init__(self, kernel: Kernel, task: Task, program, registry,
+                 fine: bool):
+        self.kernel = kernel
+        self.task = task
+        self.program = program
+        batch = kernel.sys.batch(task)
+        self.methods = [getattr(batch, name) for name in program.op_table]
+        self.slot_fds: List[int] = [-1] * program.slot_count
+        self.units = _unit_table(program, fine)
+        self.cursor = 0
+        self.costs = kernel.costs
+        self.stats = kernel.stats
+        self.clock = kernel.costs.clock
+        sweeper = kernel.sweeper
+        self.ticker = sweeper.ticker if sweeper is not None else None
+        self.files = task.fds._files
+        self.rows = program.rows
+        self.op_table = program.op_table
+        self.segments = getattr(program, "plan_segments", ()) or ()
+        self.registry = registry
+        self.cells = (registry.cells(program, self.segments)
+                      if registry is not None and self.segments else None)
+
+    def run_rows(self, lo: int, hi: int) -> None:
+        """Interpreted execution of rows ``[lo, hi)`` (the slow path)."""
+        rows = self.rows
+        methods = self.methods
+        slot_fds = self.slot_fds
+        charge_ns = self.costs.charge_ns
+        op_table = self.op_table
+        fs_error = errors.FsError
         index = lo
         try:
             for index in range(lo, hi):
@@ -657,7 +578,8 @@ def _compiled_units(kernel: Kernel, task: Task, program, registry,
                         if exc.errno != errno_exp:
                             raise ReplayDivergence(
                                 index, op_table[op_idx], errno_exp,
-                                exc.errno, f"args={tuple(args)!r}") from exc
+                                exc.errno,
+                                f"args={tuple(args)!r}") from exc
                     else:
                         raise ReplayDivergence(
                             index, op_table[op_idx], errno_exp, None,
@@ -665,94 +587,87 @@ def _compiled_units(kernel: Kernel, task: Task, program, registry,
         except ReplayDivergence:
             raise
         except fs_error as exc:
-            raise ReplayDivergence(index, op_table[rows[index][0]],
-                                   None, exc.errno) from exc
+            raise ReplayDivergence(index, op_table[rows[index][0]], None,
+                                   exc.errno) from exc
 
-    pos = 0
-    for seg_i, seg in enumerate(segments):
-        start = seg.start
-        if pos < start:
-            if fine:
-                for i in range(pos, start):
-                    run_rows(i, i + 1)
-                    yield
+    def advance(self, n: int) -> None:
+        """Execute the next ``n`` units of this stream."""
+        units = self.units
+        cursor = self.cursor
+        self.cursor = end = cursor + n
+        cells = self.cells
+        for u in range(cursor, end):
+            lo, hi, seg_i = units[u]
+            if seg_i >= 0 and cells is not None:
+                self._segment_unit(self.segments[seg_i], cells[seg_i],
+                                   lo, hi)
             else:
-                run_rows(pos, start)
-                yield
-        pos = seg.end
-        if cells is None:
-            run_rows(start, pos)
-            yield
-            continue
-        cell = cells[seg_i]
-        if cell is None:
-            cell = cells[seg_i] = PlanCell()
+                self.run_rows(lo, hi)
+
+    def _segment_unit(self, seg, cell, lo: int, hi: int) -> None:
+        """Run one plannable segment through the charge-plan protocol."""
+        registry = self.registry
+        costs = self.costs
         plan = cell.plan
         if plan is not None:
             if plan.gen == registry.gen \
                     and plan.rates_version == costs.rates_version:
-                ok = not scope_stack
+                task_key = id(self.task)
+                if task_key not in cell.tasks:
+                    self._confirm_task(plan, cell, lo, hi, task_key)
+                    return
+                ok = not costs._scope_stack
+                files = self.files
+                slot_fds = self.slot_fds
                 if ok:
                     for slot, need_inode, need_not_dir in seg.guards:
                         f = files.get(slot_fds[slot])
                         if f is None or f.closed:
                             ok = False
                             break
-                        if need_inode or need_not_dir:
+                        if need_inode:
                             inode = f.pos.dentry.inode
-                            if inode is None:
-                                if need_inode:
-                                    ok = False
-                                    break
-                            elif need_not_dir and inode.is_dir:
+                            if inode is None or (need_not_dir
+                                                 and inode.is_dir):
                                 ok = False
                                 break
-                # The +1 ns pad absorbs float-fold discrepancies between
-                # total_ns and the per-event accumulation: padding only
-                # ever forces an (always-sound) interpreted fallback.
+                ticker = self.ticker
                 if ok and ticker is not None \
                         and ticker.fires_within(plan.total_ns + 1.0):
                     ok = False
                 if ok:
-                    plan.fn(clock, costs.by_primitive, costs.by_scope,
-                            costs.counts, None)
+                    plan.fn(self.clock, costs.by_primitive,
+                            costs.by_scope, costs.counts, None)
                     if plan.stat_deltas:
-                        stats.bump_many(plan.stat_deltas)
+                        self.stats.bump_many(plan.stat_deltas)
                     for slot, offset in seg.seeks:
                         files[slot_fds[slot]].offset = offset
                     registry.applied += 1
                     cell.fail_streak = 0
-                    yield
-                    continue
+                    return
                 registry.fallbacks += 1
                 cell.fail_streak += 1
                 if cell.fail_streak >= registry.MAX_FAIL_STREAK:
                     registry.invalidated += 1
                     cell.reset()
             else:
-                # Out-of-band invalidation (gen bump) or recalibration:
-                # drop the plan and re-enter capture.
                 registry.invalidated += 1
                 cell.reset()
-            run_rows(start, pos)
-            yield
-            continue
+            self.run_rows(lo, hi)
+            return
         if cell.dead or costs.recorder is not None:
-            run_rows(start, pos)
-            yield
-            continue
+            self.run_rows(lo, hi)
+            return
         n = cell.execs
         cell.execs = n + 1
         if n < registry.WARMUP:
-            run_rows(start, pos)
-            yield
-            continue
-        # Capture execution: interpreted, with the recorder attached.
+            self.run_rows(lo, hi)
+            return
         rec = PlanRecording()
-        before = dict(stats._counters)
+        before = dict(self.stats._counters)
         costs.recorder = rec
         try:
-            run_rows(start, pos)
+            self.run_rows(lo, hi)
         finally:
             costs.recorder = None
         events = tuple(rec.events)
@@ -761,29 +676,18 @@ def _compiled_units(kernel: Kernel, task: Task, program, registry,
             cell.retries += 1
             if cell.retries > registry.MAX_RETRIES:
                 cell.dead = True
-            yield
-            continue
-        deltas = []
-        for name, value in stats._counters.items():
-            delta = value - before.get(name, 0)
-            if delta:
-                deltas.append((name, delta))
-        deltas.sort()
-        capture = (events, tuple(deltas))
+            return
+        capture = (events, _stat_deltas(self.stats, before))
         pending = cell.pending
         if pending is None:
             cell.pending = capture
         elif pending == capture:
             fn, total = _plan_fn(costs, events)
-            plan = ChargePlan()
-            plan.fn = fn
-            plan.stat_deltas = capture[1]
-            plan.total_ns = total
-            plan.gen = registry.gen
-            plan.rates_version = costs.rates_version
-            cell.plan = plan
+            cell.plan = _new_plan(fn, capture[1], total, registry.gen,
+                                  costs.rates_version, capture=capture)
             cell.pending = None
             cell.fail_streak = 0
+            cell.tasks = {id(self.task): self.task}
             registry.compiled += 1
         else:
             cell.pending = capture
@@ -791,55 +695,382 @@ def _compiled_units(kernel: Kernel, task: Task, program, registry,
             if cell.retries > registry.MAX_RETRIES:
                 cell.dead = True
                 cell.pending = None
-        yield
-    n_rows = len(rows)
-    if pos < n_rows:
-        if fine:
-            for i in range(pos, n_rows):
-                run_rows(i, i + 1)
-                yield
+
+    def _confirm_task(self, plan, cell, lo: int, hi: int,
+                      task_key: int) -> None:
+        """Admit this task to a shape-shared plan iff its run matches.
+
+        Segment cells are shared across tasks by charge shape
+        (:meth:`~repro.sim.costs.ChargePlanRegistry.cells`), so the
+        first execution on each *new* task runs interpreted under a
+        recorder and is compared byte-for-byte against the plan's
+        confirmed capture.  A match admits the task — subsequent
+        executions apply the shared plan under the usual guards.  An
+        unclean recording (a sweep batch fired mid-run, an LRU/PCC
+        touch) gives no verdict either way; a *clean* mismatch means
+        the shape key failed to predict this task's charges, which
+        invalidates the shared plan for everyone.
+        """
+        registry = self.registry
+        costs = self.costs
+        rec = PlanRecording()
+        before = dict(self.stats._counters)
+        costs.recorder = rec
+        try:
+            self.run_rows(lo, hi)
+        finally:
+            costs.recorder = None
+        events = tuple(rec.events)
+        capture = (events, _stat_deltas(self.stats, before))
+        if capture == plan.capture:
+            cell.tasks[task_key] = self.task
+            registry.task_confirms += 1
+        elif rec.lru or rec.pcc or not _capture_clean(events):
+            registry.fallbacks += 1
         else:
-            run_rows(pos, n_rows)
-            yield
+            registry.invalidated += 1
+            cell.reset()
 
 
-def replay_interleaved(kernel: Kernel,
-                       streams: Sequence[Tuple[Task, Any]],
-                       seed: int = 0, strict: bool = True,
+def _run_stream(kernel: Kernel, task: Task, program, registry) -> None:
+    """Replay one full program as a single stream (coarse gap units)."""
+    state = _StreamState(kernel, task, program, registry, fine=False)
+    state.advance(len(state.units))
+
+
+def replay_compiled(kernel: Kernel, task: Task, program,
+                    strict: bool = True,
+                    plans: Optional[bool] = None) -> None:
+    """Execute a :class:`~repro.workloads.compile.CompiledTrace`.
+
+    Semantically identical to :func:`replay` of the source trace —
+    same syscalls, same order, same compute charges, hence bit-identical
+    virtual costs and Stats (``tests/test_compiled_replay.py`` is the
+    differential gate) — but the per-event interpretation work is gone:
+    op dispatch is an index into a prebound method table (built once per
+    replay from a :meth:`~repro.vfs.syscalls.Syscalls.batch` prologue),
+    args are prefolded tuples, fd remaps are precomputed patch sites,
+    and the errno check is branch-on-None.
+
+    On strict replays the charge-plan layer additionally captures and
+    applies charge plans at two granularities — bit-identical virtual
+    costs either way (``tests/test_charge_plans.py`` is the
+    differential gate), pure wall-clock win.  ``plans`` forces the
+    layer on or off; ``None`` reads the ``REPRO_CHARGE_PLANS``
+    environment switch (default on).
+
+    1. *Whole-pass plans* (:func:`_program_plan_pass`): for a
+       self-undoing trace replayed back to back on one quiescent kernel
+       — the benchmark loop shape — the entire pass's charge stream is
+       captured once (confirmed on a second identical recorded run) and
+       later passes apply one straight-line charge replay plus a bulk
+       Stats merge, guarded by the registry generation, the rate-table
+       version and *exact clock equality* with the previous pass's end.
+       Under a live lazy sweeper a pass's stream is never stable (fixed
+       virtual deadlines drift modulo pass length), so whole-pass plans
+       require either no sweeper or the quantized-sweep mode
+       (``DcacheConfig.lazy_sweep_quantize``), where the boundary
+       catch-up sweep is part of the captured stream and apply emulates
+       the ticker exactly (:func:`_apply_plan`).
+
+    2. *Per-segment plans*, task-generic and shared by charge shape
+       (:meth:`~repro.sim.costs.ChargePlanRegistry.cells`), for
+       programs carrying ``plan_segments``: runs of fd-table syscalls
+       captured once and applied under per-fd guards.  This is the
+       granularity :func:`replay_interleaved` schedules, and the
+       fallback whenever whole-pass planning is unavailable.
+
+    Strict replays on a quantized-lazy kernel run under
+    :func:`_quantized` regardless of the plans switch, so plans-on and
+    plans-off streams stay bit-identical within the mode.
+
+    ``program`` is duck-typed (``op_table``, ``rows``, ``slot_count``)
+    so this module need not import the compiler; programs without
+    ``plan_segments`` replay as plain row streams.
+    """
+    if strict and getattr(program, "plan_segments", None) is not None:
+        if plans is None:
+            plans = _plans_enabled()
+        if plans and kernel.costs.recorder is None:
+            registry = kernel.costs.plans
+            sweeper = kernel.sweeper
+            quantize = (sweeper is not None
+                        and kernel.config.lazy_sweep_quantize
+                        and not sweeper.ticker.suspended)
+            if (sweeper is None or quantize) and _program_plan_pass(
+                    kernel, task, program, registry, quantize):
+                return
+            if program.plan_segments:
+                _quantized(kernel, lambda: _run_stream(kernel, task,
+                                                       program, registry))
+                return
+    if strict:
+        _quantized(kernel, lambda: _run_stream(kernel, task, program,
+                                               None))
+        return
+    # Lenient path: mirror replay(strict=False) — unexpected outcomes
+    # are ignored and the stream continues.  No pass semantics here, so
+    # no sweep quantization either.
+    batch = kernel.sys.batch(task)
+    methods = [getattr(batch, name) for name in program.op_table]
+    slot_fds: List[int] = [-1] * program.slot_count
+    charge_ns = kernel.costs.charge_ns
+    fs_error = errors.FsError
+    for op_idx, args, patches, store, errno_exp, compute, pair \
+            in program.rows:
+        if compute:
+            charge_ns("app_compute", compute)
+        if patches is not None:
+            for arg_idx, slot in patches:
+                args[arg_idx] = slot_fds[slot]
+        try:
+            result = methods[op_idx](*args)
+        except fs_error:
+            continue
+        if store >= 0 and errno_exp is None:
+            slot_fds[store] = result[0] if pair else result
+
+
+def _apply_plan(kernel: Kernel, registry, cell, quantize: bool) -> bool:
+    """Guard and apply an armed whole-pass/whole-drain plan.
+
+    True means the plan applied: virtual costs and Stats advanced
+    exactly as an interpreted run would, kernel state untouched.  False
+    means a guard failed and the caller must run interpreted (the
+    streak/invalidation bookkeeping has already happened).
+
+    The clock guard is *exact equality* with the clock value at which
+    the plan was armed — any interleaving syscall moves the clock off
+    it.  Under quantization the boundary sweep fires unconditionally
+    (see :func:`_quantized`), so no deadline guard is needed: apply
+    replays the body charges, fires the ticker (reading the clock at
+    the exact body-end time, bit-identical to interpreted execution)
+    and replays the captured sweep charges — the real sweep is
+    *skipped*, deliberately: applied passes leave cache state frozen,
+    and a live sweep would examine that frozen state instead of the
+    states the interpreted run would produce.
+    """
+    costs = kernel.costs
+    clock = costs.clock
+    plan = cell.plan
+    if plan.gen != registry.gen \
+            or plan.rates_version != costs.rates_version:
+        registry.invalidated += 1
+        cell.reset()
+        return False
+    if clock._now_ns != cell.armed_now:
+        registry.fallbacks += 1
+        cell.fail_streak += 1
+        if cell.fail_streak >= registry.PASS_FAIL_STREAK:
+            registry.invalidated += 1
+            cell.reset()
+        return False
+    plan.fn(clock, costs.by_primitive, costs.by_scope, costs.counts,
+            None)
+    if quantize and plan.q_fired:
+        kernel.sweeper.ticker.fire()
+        if plan.fn2 is not None:
+            plan.fn2(clock, costs.by_primitive, costs.by_scope,
+                     costs.counts, None)
+    if plan.stat_deltas:
+        kernel.stats.bump_many(plan.stat_deltas)
+    cell.armed_now = clock._now_ns
+    cell.fail_streak = 0
+    registry.applied += 1
+    return True
+
+
+def _program_plan_pass(kernel: Kernel, task: Task, program, registry,
+                       quantize: bool) -> bool:
+    """Whole-pass charge-plan protocol.  True iff this pass was handled.
+
+    Lifecycle per (program, task) cell: one warmup pass, then two
+    recorded interpreted passes whose captures must match
+    byte-for-byte, then the capture compiles to a straight-line charge
+    replay applied on every subsequent pass that starts at *exactly*
+    the clock value the previous pass ended on (:func:`_apply_plan`).
+    Any rejection — scope stack active, fd table changed across the
+    pass, capture mismatch — burns a retry; ``MAX_RETRIES`` rejections
+    kill the cell and the program falls back to segment planning
+    forever.  Returns False only when the caller should run the pass
+    itself (warmup, dead cell, guard failure); recorded passes return
+    True because the recording ran the pass.
+    """
+    costs = kernel.costs
+    if costs._scope_stack:
+        return False
+    cell = registry.pass_cell(program, task)
+    if cell.dead:
+        return False
+    if cell.plan is not None:
+        return _apply_plan(kernel, registry, cell, quantize)
+    n = cell.execs
+    cell.execs = n + 1
+    if n < registry.WARMUP:
+        return False
+    rec = PlanRecording()
+    stats = kernel.stats
+    before = dict(stats._counters)
+    fds_before = frozenset(task.fds._files)
+    costs.recorder = rec
+    try:
+        replay_compiled(kernel, task, program, strict=True, plans=False)
+    finally:
+        costs.recorder = None
+    if costs._scope_stack or frozenset(task.fds._files) != fds_before:
+        cell.pending = None
+        cell.retries += 1
+        if cell.retries > registry.MAX_RETRIES:
+            cell.dead = True
+        return True
+    capture = (tuple(rec.events), _stat_deltas(stats, before),
+               rec.boundary, rec.fired)
+    pending = cell.pending
+    if pending is None:
+        cell.pending = capture
+    elif pending == capture:
+        cell.plan = _compile_pass_plan(costs, registry, capture)
+        cell.pending = None
+        cell.fail_streak = 0
+        cell.armed_now = costs.clock._now_ns
+        registry.compiled += 1
+    else:
+        cell.pending = capture
+        cell.retries += 1
+        if cell.retries > registry.MAX_RETRIES:
+            cell.dead = True
+            cell.pending = None
+    return True
+
+
+def _drain_plan(kernel: Kernel, streams, seed: int, registry,
+                quantize: bool) -> bool:
+    """Whole-drain charge-plan protocol.  True iff this drain was handled.
+
+    The interleaved analogue of :func:`_program_plan_pass`: the cell
+    covers one entire :func:`replay_interleaved` drain, keyed by the
+    seed and the identities of every (task, program) pair
+    (:meth:`~repro.sim.costs.ChargePlanRegistry.drain_cell`).  The
+    capture records the drain interpreted with segment plans *off*, and
+    the fd-table check covers every participating task.  Everything
+    else — confirm-twice, exact-clock arming, quantized boundary
+    emulation — is shared with the pass protocol.
+    """
+    costs = kernel.costs
+    if costs._scope_stack:
+        return False
+    cell = registry.drain_cell(streams, seed)
+    if cell.dead:
+        return False
+    if cell.plan is not None:
+        return _apply_plan(kernel, registry, cell, quantize)
+    n = cell.execs
+    cell.execs = n + 1
+    if n < registry.WARMUP:
+        return False
+    rec = PlanRecording()
+    stats = kernel.stats
+    before = dict(stats._counters)
+    fds_before = [frozenset(task.fds._files) for task, _prog in streams]
+    costs.recorder = rec
+    try:
+        _quantized(kernel, lambda: _drain_interleaved(kernel, streams,
+                                                      seed, None))
+    finally:
+        costs.recorder = None
+    fds_after = [frozenset(task.fds._files) for task, _prog in streams]
+    if costs._scope_stack or fds_after != fds_before:
+        cell.pending = None
+        cell.retries += 1
+        if cell.retries > registry.MAX_RETRIES:
+            cell.dead = True
+        return True
+    capture = (tuple(rec.events), _stat_deltas(stats, before),
+               rec.boundary, rec.fired)
+    pending = cell.pending
+    if pending is None:
+        cell.pending = capture
+    elif pending == capture:
+        cell.plan = _compile_pass_plan(costs, registry, capture)
+        cell.pending = None
+        cell.fail_streak = 0
+        cell.armed_now = costs.clock._now_ns
+        registry.compiled += 1
+    else:
+        cell.pending = capture
+        cell.retries += 1
+        if cell.retries > registry.MAX_RETRIES:
+            cell.dead = True
+            cell.pending = None
+    return True
+
+
+def _drain_interleaved(kernel: Kernel, streams, seed: int,
+                       registry) -> None:
+    """Vectorized interpreted drain of interleaved streams.
+
+    The schedule — which stream advances at each step — is precomputed
+    as flat (stream, run-length) arrays by
+    :meth:`~repro.testing.scheduler.StreamScheduler.plan_schedule`,
+    pick-for-pick identical to draining with per-unit RNG calls
+    (asserted by ``tests/test_server_fleet.py``), then run-length
+    coalesced so consecutive picks of one stream cost a single
+    dispatch.  Per-stream state lives in :class:`_StreamState`; the
+    loop body is one bound-method call per run.
+    """
+    states = [_StreamState(kernel, task, prog, registry, fine=True)
+              for task, prog in streams]
+    order, runs = _drain_schedule(
+        seed, tuple(len(state.units) for state in states))
+    advances = [state.advance for state in states]
+    for i, s in enumerate(order):
+        advances[s](runs[i])
+
+
+def replay_interleaved(kernel: Kernel, streams, seed: int = 0,
+                       strict: bool = True,
                        plans: Optional[bool] = None) -> None:
-    """Replay N compiled per-task programs interleaved on one kernel.
+    """Replay multiple compiled programs interleaved on one kernel.
 
-    ``streams`` is a sequence of ``(task, program)`` pairs — distinct
-    :class:`~repro.vfs.task.Task` objects (own creds, cwds, fd tables)
-    against a single kernel.  Execution proceeds unit-by-unit under a
-    seeded :class:`~repro.testing.scheduler.StreamScheduler`: each step
-    advances one stream by one unit (one row, or one whole
-    charge-plannable segment — boundaries are static, see
-    :func:`_compiled_units`), so the interleaving is deterministic for
-    a given seed and identical with plans on or off.
+    ``streams`` is a sequence of ``(task, program)`` pairs.  Each
+    program's rows execute in order, but the streams advance in a
+    seeded pseudo-random interleaving at plan-unit granularity (a
+    plannable segment is one unit, every other row is its own unit) —
+    the multi-tenant server shape: per-tenant request streams sharing
+    one directory cache.  Deterministic: the same (streams, seed)
+    always produces the same interleaving, virtual costs and Stats.
 
-    Charge plans are validated per task at apply time (fd-table guards
-    read through the executing stream's slots), and captured plans are
-    shared across streams replaying the same program object.  A
-    mutation by one task that bumps the plan registry's generation
-    (``chmod``-class memo flushes, ``drop_caches``) invalidates plans
-    held by every other stream — the cross-task coherence slice of the
-    multi-tenant traffic engine.
+    Strict-only: lenient replay swallows errors *within* a stream,
+    which would let streams desynchronize silently.
+
+    The charge-plan layer applies at two levels.  Per-segment plans
+    (shape-shared across tenants) capture and apply inside the drain
+    exactly as in :func:`replay_compiled`.  When the whole drain is
+    replayed back to back on a quiescent kernel — the benchmark shape —
+    a *whole-drain* plan (:func:`_drain_plan`) captures the entire
+    drain's charge stream once and replays it straight-line, guarded by
+    exact clock equality; like whole-pass plans this needs either no
+    sweeper or ``DcacheConfig.lazy_sweep_quantize``.  Bit-identical
+    virtual output with ``plans`` on or off either way
+    (``tests/test_server_fleet.py`` is the differential gate).
     """
     if not strict:
-        raise ValueError("interleaved replay supports strict mode only")
+        raise ValueError("replay_interleaved is strict-only: lenient "
+                         "replay could desynchronize streams")
+    streams = list(streams)
     if plans is None:
         plans = _plans_enabled()
-    registry = kernel.costs.plans \
-        if plans and kernel.costs.recorder is None else None
-    from repro.testing.scheduler import StreamScheduler
-    units = [_compiled_units(kernel, task, prog, registry, fine=True)
-             for task, prog in streams]
-    scheduler = StreamScheduler(seed)
-    alive = list(range(len(units)))
-    while alive:
-        pick = scheduler.pick(len(alive))
-        try:
-            next(units[alive[pick]])
-        except StopIteration:
-            alive.pop(pick)
+    costs = kernel.costs
+    registry = costs.plans \
+        if plans and costs.recorder is None else None
+    if registry is not None:
+        sweeper = kernel.sweeper
+        quantize = (sweeper is not None
+                    and kernel.config.lazy_sweep_quantize
+                    and not sweeper.ticker.suspended)
+        if (sweeper is None or quantize) and _drain_plan(
+                kernel, streams, seed, registry, quantize):
+            return
+    _quantized(kernel, lambda: _drain_interleaved(kernel, streams, seed,
+                                                  registry))
+

@@ -65,6 +65,28 @@ def handle_request(kernel: Kernel, task: Task, listing: str) -> int:
     return len(entries)
 
 
+#: Config-check/reload compute around an atomic docroot swap.
+DEPLOY_FIXED_NS = 9_000.0
+
+
+def deploy_rotation(kernel: Kernel, task: Task, listing: str) -> None:
+    """Zero-downtime deploy pair: rotate the listing aside and back.
+
+    The standard atomic deploy swaps the live content directory with
+    ``rename(2)``.  The cache work is what matters here: the listing's
+    subtree (one dentry per asset) is hot — every autoindex request
+    ``fstatat``\\ s each entry — so the eager profile pays a per-dentry
+    subtree shootdown at swap time *and* cold per-entry refills on the
+    requests that follow, while the lazy profile bumps an epoch and
+    revalidates each entry in place on its next touch.  The pair
+    restores the original name, keeping the operation self-undoing for
+    replay loops (see :mod:`repro.workloads.server_fleet`).
+    """
+    kernel.costs.charge_ns("httpd_compute", DEPLOY_FIXED_NS)
+    kernel.sys.rename(task, listing, f"{listing}.old")
+    kernel.sys.rename(task, f"{listing}.old", listing)
+
+
 def run_benchmark(kernel: Kernel, nfiles: int, *,
                   requests: int = 50) -> float:
     """Table 3 driver: returns requests per virtual second."""
