@@ -116,8 +116,10 @@ def test_stat_churn_wallclock(benchmark, profile):
     """Interleaved stat/rename over overlapping hot paths.
 
     Exercises the resolution memo's invalidation cost: eight warm stats,
-    a sibling-directory rename (bulk memo flush), then re-stats of half
-    the files that must re-record and re-confirm.
+    a sibling-directory rename (scoped memo kills via the reverse
+    dependency indexes — only entries that observed the moved dentry
+    die), then re-stats of half the files, which replay from the
+    surviving memo entries instead of re-recording.
     """
     kernel = make_kernel(profile)
     task = kernel.spawn_task(uid=0, gid=0)

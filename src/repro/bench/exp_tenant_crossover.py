@@ -23,6 +23,7 @@ tenant count flips.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Tuple
 
 from repro import make_kernel
@@ -37,9 +38,21 @@ MUTATION_RATES: Tuple[float, ...] = (0.0, 0.1, 0.3, 0.6)
 MUTATION_RATES_QUICK: Tuple[float, ...] = (0.0, 0.6)
 
 
+def _memo_enabled() -> bool:
+    """Honour ``REPRO_RESOLUTION_MEMO=off`` like the speed suite does.
+
+    The memo is a wall-clock cache, so the throughput table must be
+    byte-identical either way — CI reruns this experiment with the memo
+    (and charge plans) off and ``cmp``-asserts exactly that over the
+    mutation-heavy fleet cells.
+    """
+    return os.environ.get("REPRO_RESOLUTION_MEMO", "on").lower() \
+        not in ("off", "0", "false")
+
+
 def _throughput(profile: str, tenants: int, total_requests: int,
                 mutation_rate: float) -> float:
-    kernel = make_kernel(profile)
+    kernel = make_kernel(profile, resolution_memo=_memo_enabled())
     return server_fleet.run_benchmark(
         kernel, tenants, total_requests=total_requests,
         mutation_rate=mutation_rate, drains=3, seed=11)

@@ -173,6 +173,15 @@ PYTEST_NAME_MAP = {
         "snapshot_restore[optimized-lazy]",
 }
 
+#: Cells the committed baseline must always carry.  The ``--check``
+#: coverage rule only gates keys *present* in the baseline file, so a
+#: baseline regenerated without the mutation-path cells would silently
+#: stop gating the write path — their absence is itself a gate failure.
+REQUIRED_BASELINE_KEYS = tuple(
+    f"{name}[{profile}]"
+    for name in ("rename_churn", "create_unlink")
+    for profile in PROFILES)
+
 
 # -- benchmark setup ------------------------------------------------------
 #
@@ -694,9 +703,9 @@ def _print_plan_appendix() -> None:
         print("charge plans disabled (--plans off / REPRO_CHARGE_PLANS)")
         return
     print("| profile | compiled | applied | task_confirms "
-          "| invalidated | fallbacks |")
+          "| patched | invalidated | fallbacks |")
     print("|---------|----------|---------|---------------"
-          "|-------------|-----------|")
+          "|---------|-------------|-----------|")
     for profile in PROFILES:
         kernel, task, bind = _setup_trace_replay(profile)
         op = bind(kernel, task)
@@ -708,11 +717,61 @@ def _print_plan_appendix() -> None:
         for key, value in mt_kernel.costs.plans.telemetry().items():
             tel[key] = tel.get(key, 0) + value
         print(f"| {profile} | {tel['compiled']} | {tel['applied']} "
-              f"| {tel['task_confirms']} | {tel['invalidated']} "
-              f"| {tel['fallbacks']} |")
+              f"| {tel['task_confirms']} | {tel['patched']} "
+              f"| {tel['invalidated']} | {tel['fallbacks']} |")
 
 
 # -- regression check -----------------------------------------------------
+
+def print_comparison(results: Dict[str, float], baseline_json: str,
+                     threshold: float) -> int:
+    """Per-cell delta table: fresh results vs. a committed results file.
+
+    One command instead of manual JSON diffing: for every cell in either
+    set, print baseline and current values, the delta, the ×-factor, and
+    pass/fail against the same fractional gate ``--check`` uses (a cell
+    only *fails* when it regressed by more than ``threshold``; faster is
+    always a pass).  Returns 1 if any shared cell failed the gate, else
+    0.  Cells present on only one side are reported but never fail —
+    they are new or retired benchmarks, not regressions.
+    """
+    with open(baseline_json) as fh:
+        payload = json.load(fh)
+    baseline = payload.get("results", payload)
+    units = payload.get("units", "us_per_op")
+    unit = "ns/op" if units.startswith("virtual") else "us/op"
+    print()
+    print(f"## Delta vs {baseline_json} (gate: +{threshold:.0%})")
+    print()
+    print(f"| cell | baseline ({unit}) | current ({unit}) "
+          "| delta | factor | gate |")
+    print("|------|------|------|-------|--------|------|")
+    failed = False
+    keys = list(baseline) + [k for k in results if k not in baseline]
+    for key in keys:
+        base = baseline.get(key)
+        cur = results.get(key)
+        if base is None or cur is None:
+            side = "baseline only" if cur is None else "new cell"
+            val = base if cur is None else cur
+            print(f"| {key} | {base if base is not None else '—'} "
+                  f"| {cur if cur is not None else '—'} | {side} | — | — |")
+            continue
+        ratio = cur / base if base else float("inf")
+        status = "FAIL" if ratio > 1.0 + threshold else "ok"
+        if status == "FAIL":
+            failed = True
+        print(f"| {key} | {base:.2f} | {cur:.2f} | {cur - base:+.2f} "
+              f"| {ratio:.2f}x | {status} |")
+    print()
+    if failed:
+        print(f"FAIL: at least one cell regressed more than "
+              f"{threshold:.0%} vs {baseline_json}")
+        return 1
+    print(f"OK: no cell regressed more than {threshold:.0%} vs "
+          f"{baseline_json}")
+    return 0
+
 
 def check_regressions(pytest_json: str, baseline_json: str,
                       threshold: float) -> int:
@@ -728,6 +787,15 @@ def check_regressions(pytest_json: str, baseline_json: str,
         bench_data = json.load(fh)
     with open(baseline_json) as fh:
         baseline = json.load(fh)["results"]
+
+    missing = [key for key in REQUIRED_BASELINE_KEYS if key not in baseline]
+    if missing:
+        print("error: baseline is missing required write-path cells "
+              "(a baseline without them un-gates the mutation path):",
+              file=sys.stderr)
+        for key in missing:
+            print(f"  {key}", file=sys.stderr)
+        return 2
 
     failed = False
     covered = set()
@@ -813,6 +881,12 @@ def main(argv=None) -> int:
     parser.add_argument("--check", metavar="PYTEST_JSON",
                         help="pytest-benchmark JSON export to check against "
                              "the committed baseline instead of running")
+    parser.add_argument("--compare", metavar="BASELINE_JSON",
+                        help="after running, print a per-cell delta table "
+                             "(value, x-factor, pass/fail vs --threshold) "
+                             "against a previously written results file; "
+                             "exits 1 if any shared cell regressed past "
+                             "the gate")
     parser.add_argument("--baseline", default="BENCH_simspeed.json",
                         help="baseline file for --check (default: "
                              "%(default)s)")
@@ -865,6 +939,8 @@ def main(argv=None) -> int:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.output}")
+    if args.compare:
+        return print_comparison(results, args.compare, args.threshold)
     return 0
 
 

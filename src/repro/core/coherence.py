@@ -141,11 +141,10 @@ class Coherence:
     def bump_counter(self) -> None:
         self.costs.charge("inval_counter_bump")
         self.counter += 1
-        memo = self.memo
-        if memo is not None:
-            # Bulk memo flush — no per-entry shootdown; every memoized
-            # resolution snapshots the counter, so all are now stale.
-            memo.flush()
+        # No memo flush here: memoized resolutions snapshot the counter
+        # (so non-steady entries lapse on their own), and steady entries
+        # are covered by the dcache's scoped kills plus their per-dentry
+        # seq / inode / signature pins.
 
     # -- shootdowns ----------------------------------------------------------------
 
@@ -169,6 +168,72 @@ class Coherence:
             fast.invalidate()
             if fast.dlht is not None:
                 fast.dlht.remove(dentry)
+
+    def _invalidate_bulk(self, frontier: List[Dentry]) -> None:
+        """Apply :meth:`_invalidate_one` to a collected frontier in bulk.
+
+        Charges accumulate in locals and store once; the float-add
+        sequence on the clock and the per-primitive/per-scope tables is
+        exactly the one N scalar charges would produce (same additions,
+        same order — the intermediate attribute stores carry no rounding),
+        recorder events are appended per dentry as before, and the Stats
+        counters merge through one :meth:`~repro.sim.stats.Stats.bump_many`
+        (integer, associative).  Seq bumps go through the arena column,
+        bound once per arena rather than once per dentry.
+        """
+        costs = self.costs
+        ns = costs._rates["inval_per_dentry"][0]
+        clock = costs.clock
+        stack = costs._scope_stack
+        scope = stack[-1] if stack else None
+        rec = costs.recorder
+        events = rec.events if rec is not None else None
+        by_primitive = costs.by_primitive
+        now = clock._now_ns
+        vp = by_primitive.get("inval_per_dentry", 0.0)
+        if scope is not None:
+            by_scope = costs.by_scope
+            vs = by_scope.get(scope, 0.0)
+        arena = None
+        seqarr = None
+        wraps = 0
+        for dentry in frontier:
+            now += ns
+            vp += ns
+            if scope is not None:
+                vs += ns
+            if events is not None:
+                events.append((scope, "inval_per_dentry", 1, 0))
+            h = dentry.h
+            if h >= 0:
+                if dentry.arena is not arena:
+                    arena = dentry.arena
+                    seqarr = arena.seq
+                seq = seqarr[h] + 1
+                seqarr[h] = seq
+            else:
+                seq = dentry.seq + 1
+                dentry.seq = seq
+            if seq >= SEQ_WRAP:
+                wraps += 1
+            fast = dentry.fast
+            if fast is not None:
+                fast.invalidate()
+                if fast.dlht is not None:
+                    fast.dlht.remove(dentry)
+        clock._now_ns = now
+        by_primitive["inval_per_dentry"] = vp
+        if scope is not None:
+            by_scope[scope] = vs
+        n = len(frontier)
+        counts = costs.counts
+        counts["inval_per_dentry"] = counts.get("inval_per_dentry", 0) + n
+        self.stats.bump_many((("inval_dentry", n),))
+        # Wraparound (32-bit seq space) is once-in-a-blue-moon; the flush
+        # itself charges nothing, so deferring it past the bulk stores is
+        # observationally identical to the scalar walk firing it inline.
+        for _ in range(wraps):
+            self.wraparound_flush()
 
     def _lazy_stamp(self, dentry: Dentry) -> None:
         """O(1) lazy shootdown: advance the epoch, stamp the dentry.
@@ -239,21 +304,33 @@ class Coherence:
                 self._lazy_stamp(root)
             self.bump_counter()
             return
+        # Collect the frontier first (flat list, exact DFS order of the
+        # old per-dentry recursive walk — invalidation mutates no tree
+        # edges, so collect-then-apply visits the same dentries in the
+        # same order), then shoot it down in one column-bound bulk pass.
         found_fast = 0
         visited = set()
+        mounts = self._mounts_on
         stack = [dentry] if include_self else \
             list(dentry.children.values()) + \
-            list(self._mounts_on.get(id(dentry), ()))
+            list(mounts.get(id(dentry), ()))
+        frontier: List[Dentry] = []
+        append = frontier.append
         while stack:
             current = stack.pop()
-            if id(current) in visited:
+            ident = id(current)
+            if ident in visited:
                 continue
-            visited.add(id(current))
+            visited.add(ident)
             if current.fast is not None:
                 found_fast += 1
-            self._invalidate_one(current)
+            append(current)
             stack.extend(current.children.values())
-            stack.extend(self._mounts_on.get(id(current), ()))
+            roots = mounts.get(ident)
+            if roots:
+                stack.extend(roots)
+        if frontier:
+            self._invalidate_bulk(frontier)
         if found_fast == 0 and self.walks_active == 0:
             self.stats.bump("counter_bump_elided")
             return
@@ -268,6 +345,12 @@ class Coherence:
             pcc.invalidate_all()
         for dlht in self.dlhts:
             dlht.flush()
+        memo = self.memo
+        if memo is not None:
+            # A seq wrap breaks every memo entry's seqcount pins at once;
+            # scoped kills cannot see it, so flush explicitly (even when
+            # no PCC exists to do it as a side effect).
+            memo.flush()
         if self.plans is not None:
             self.plans.bump_gen()
 
@@ -291,7 +374,7 @@ class LazySweeper:
     BATCH = 64
 
     __slots__ = ("coherence", "fast", "ticker", "batch",
-                 "_dlht_work", "_pcc_work")
+                 "_dlht_work", "_pcc_work", "pass_gen")
 
     def __init__(self, coherence: Coherence, fast, ticker,
                  batch: int = BATCH):
@@ -300,8 +383,14 @@ class LazySweeper:
         self.fast = fast
         self.ticker = ticker
         self.batch = batch
-        self._dlht_work: List = []  # (dlht_ref, [keys...]) snapshots
+        self._dlht_work: List = []  # (dlht_ref, [(key, dentry)...]) snapshots
         self._pcc_work: List = []   # (pcc_ref, [entry ids...]) snapshots
+        #: Pass generation: bumped each time the DLHT worklist refills.
+        #: A pass examines exactly the (key, dentry) entries that existed
+        #: at refill time; a key reclaimed mid-pass by a shootdown and
+        #: re-registered to a different dentry is *not* re-scanned (it
+        #: was never part of this pass — see the identity guard below).
+        self.pass_gen = 0
 
     def poll(self) -> None:
         if not self.ticker.due():
@@ -340,20 +429,29 @@ class LazySweeper:
 
     def _sweep_dlhts(self) -> None:
         if not self._dlht_work:
-            self._dlht_work = [(weakref.ref(dlht), [k for k, _ in dlht.items()])
+            self.pass_gen += 1
+            self._dlht_work = [(weakref.ref(dlht), list(dlht.items()))
                                for dlht in self.coherence.dlhts]
             if not self._dlht_work:
                 return
         budget = self.batch
         while budget > 0 and self._dlht_work:
-            dlht_ref, keys = self._dlht_work[-1]
+            dlht_ref, entries = self._dlht_work[-1]
             dlht = dlht_ref()
-            if dlht is None or not keys:
+            if dlht is None or not entries:
                 self._dlht_work.pop()
                 continue
-            while keys and budget > 0:
-                key = keys.pop()
+            while entries and budget > 0:
+                key, dentry = entries.pop()
                 budget -= 1
+                # Identity guard: a shootdown landing mid-pass reclaims
+                # entries whose keys are still in this snapshot; if the
+                # slot was re-registered to a different dentry since the
+                # refill, the snapshotted entry is gone and the fresh one
+                # belongs to the next pass — re-scanning it here would
+                # double-charge its validation.
+                if dlht.peek(key) is not dentry:
+                    continue
                 if self.fast.sweep_key(dlht, key):
                     self.coherence.stats.bump("sweep_discard")
 

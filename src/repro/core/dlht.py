@@ -31,6 +31,10 @@ from repro.sim.costs import CostModel
 from repro.sim.stats import Stats
 from repro.vfs.dentry import Dentry
 
+#: Fixed charge run for one probe (batched; order is the historical
+#: per-call sequence).
+_PROBE_CHARGES = ("dlht_probe", "sig_compare")
+
 
 class DirectLookupHashTable:
     """One namespace's signature -> dentry index."""
@@ -57,9 +61,19 @@ class DirectLookupHashTable:
 
     def probe(self, signature: Signature) -> Optional[Dentry]:
         """Look up a signature: bucket fetch + signature compare."""
-        self.costs.charge("dlht_probe")
-        self.costs.charge("sig_compare")
-        return self._table.get(self._key(signature))
+        costs = self.costs
+        costs.charge_many(_PROBE_CHARGES)
+        # A Signature is a NamedTuple, so it hashes and compares as the
+        # plain ``(index, bits)`` tuple ``_key`` produces — probe with it
+        # directly and skip one tuple allocation on the hottest probe.
+        dentry = self._table.get(signature)
+        if dentry is not None and not dentry.dead:
+            rec = costs.recorder
+            if rec is not None:
+                # Every fastpath conclusion rests on its probe hits; the
+                # resolution memo pins them (seq + inode identity).
+                rec.deps.append(dentry)
+        return dentry
 
     def peek(self, key: Tuple[int, int]) -> Optional[Dentry]:
         """Uncharged raw-key access (sweep / introspection only)."""
@@ -115,6 +129,10 @@ class DirectLookupHashTable:
         if extras is not None and key in extras:
             extras.remove(key)
             self.extra_key_count -= 1
+            if not extras:
+                # Normalize: an emptied shadow list is dead weight for
+                # every later check and for snapshot clones.
+                fast.extra_keys = None
         if old_key is not None and old_key != key \
                 and self._table.get(old_key) is self._table.get(key):
             if fast.extra_keys is None:

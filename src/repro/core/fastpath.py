@@ -245,6 +245,11 @@ class FastLookup(WalkHooks):
             return None
         if not comps:
             dentry = start.dentry
+            rec = self.costs.recorder
+            if rec is not None:
+                # The conclusion rests on the start's own state (beyond
+                # the seq pin): negativity and inode kind.
+                rec.deps.append(dentry)
             if dentry.is_negative:
                 return ("raise", errors.ENOENT(path_hint))
             return ("ok", start)
@@ -277,6 +282,11 @@ class FastLookup(WalkHooks):
                 i += 1
                 if i == total:
                     dentry = cur_pos.dentry
+                    rec = self.costs.recorder
+                    if rec is not None:
+                        # Dot-dot terminal: reached through the mount
+                        # tree, not a probe — pin its state explicitly.
+                        rec.deps.append(dentry)
                     if dentry.is_negative:
                         return ("raise", errors.ENOENT(path_hint))
                     return ("ok", cur_pos)
@@ -417,10 +427,17 @@ class FastLookup(WalkHooks):
                       must_dir: bool, intent_create: bool,
                       create_dir: bool):
         self.stats.bump("negative_hit")
+        rec = self.costs.recorder
+        if rec is not None:
+            # The negativity conclusion (and, for intent_create, the
+            # parent's viability) must be pinned by the memo.
+            rec.deps.append(result)
         if result.neg_kind == NEG_ENOTDIR:
             return ("raise", errors.ENOTDIR(path_hint))
         if intent_create:
             parent = result.parent
+            if rec is not None and parent is not None:
+                rec.deps.append(parent)
             if parent is None or parent.is_negative or not parent.is_dir:
                 return ("raise", errors.ENOENT(path_hint))
             if must_dir and not create_dir:
@@ -1125,7 +1142,10 @@ class FastLookup(WalkHooks):
         """True when the dentry's superblock forbids direct lookup (§4.3:
         stateless network file systems revalidate every component, so
         caching their paths in the DLHT/PCC would serve stale answers)."""
-        node = dentry
+        inode = dentry.inode
+        if inode is not None:
+            return inode.fs.requires_revalidation
+        node = dentry.parent
         while node is not None:
             if node.inode is not None:
                 return node.inode.fs.requires_revalidation
@@ -1145,15 +1165,18 @@ class FastLookup(WalkHooks):
         # walk's observations are current as of the present epoch.
         gepoch = self.coherence.epoch
         dlht = ctx.task.ns.dlht
+        on_revalidating_sb = self._on_revalidating_sb
+        insert = dlht.insert
+        finish = self.hasher.finish
         for dentry, state, mount in ctx.pending_dlht:
-            if dentry.dead or self._on_revalidating_sb(dentry):
+            if dentry.dead or on_revalidating_sb(dentry):
                 continue
             fast = fast_of(dentry)
             fast.hash_state = state
             fast.mount = mount
             if lazy:
                 fast.epoch_snapshot = gepoch
-            dlht.insert(dentry, self.hasher.finish(state))
+            insert(dentry, finish(state))
         for link, tstate in ctx.pending_linktarget:
             if not link.dead and not self._on_revalidating_sb(link):
                 fast_of(link).link_target_state = tstate
@@ -1162,9 +1185,10 @@ class FastLookup(WalkHooks):
         self._apply_deep_negatives(ctx, dlht, pcc, gepoch)
         if pcc is not None:
             epoch = gepoch if lazy else 0
+            pcc_insert = pcc.insert
             for dentry in ctx.pending_pcc:
-                if not dentry.dead and not self._on_revalidating_sb(dentry):
-                    pcc.insert(dentry, epoch)
+                if not dentry.dead and not on_revalidating_sb(dentry):
+                    pcc_insert(dentry, epoch)
 
     def _apply_aliases(self, ctx, dlht, pcc, gepoch: int) -> None:
         cur = ctx.alias_head

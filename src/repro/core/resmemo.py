@@ -16,15 +16,33 @@ and stores the terminal :class:`~repro.vfs.dentry.PathPos` (or the
 raised :class:`~repro.errors.FsError`), the exact sequence of
 :class:`~repro.sim.costs.CostModel` charge events, the
 :class:`~repro.sim.stats.Stats` counter deltas, and the dcache-LRU /
-PCC touches the resolution performed.  A hit is accepted only after an
-O(1) validity check:
+PCC touches the resolution performed.  A hit is accepted only after a
+validity check over the entry's recorded *dependencies*:
 
-* the global invalidation counter is unchanged (eager profiles bump it
-  on every shootdown) and the lazy epoch high-water mark is unchanged
-  (the lazy profile stamps epochs instead of shooting down), and
-* the per-dentry seqcounts of the start dentry (root or cwd) and the
-  terminal dentry still match the recorded snapshots and neither is
-  dead.
+* the lazy epoch high-water mark is unchanged (the lazy profile stamps
+  epochs instead of shooting down; touch-time revalidation charges
+  depend on it, so lazy recordings never survive an epoch bump), and
+* the start dentry (root or cwd) is the same object with the same
+  seqcount, and
+* every dentry the walk's conclusion rested on — dcache-LRU hits, DLHT
+  probe hits, PCC probe hits, fastpath negativity checks — is alive
+  with its recorded seqcount and the *same inode object* (identity
+  pins negativity flips and re-instantiations that do not bump seqs),
+  and
+* the terminal dentry's state signature (inode kind, negativity kind,
+  stub/alias state, DLHT registration) matches the recorded one, and
+* every recorded PCC probe hit would hit again right now, and
+* for entries whose recordings contain mutation-adjacent charges (see
+  ``_STEADY_UNSAFE_PRIMITIVES``), the global invalidation counter is
+  additionally unchanged.
+
+Entries whose recordings are free of mutation-adjacent charges are
+*steady*: they skip the counter comparison, so a confirmed resolution
+survives its workload's own create/unlink/rename cycle and replays
+again when the path returns to the recorded state — the memoized
+parent resolution for mutation syscalls (an ``unlink`` or ``O_CREAT``
+open re-resolves its path from the memo; the mutation invalidates
+*after* resolution, so the read is legal).
 
 On acceptance the memo *replays* the recorded charges and counter
 deltas through :meth:`CostModel.replay_events`, re-deriving every
@@ -48,23 +66,35 @@ executions differ (the second run hits what the first one filled), so
 confirmed recordings are structurally steady-state: their only side
 effects are dcache-LRU reordering and PCC ``move_to_end`` touches,
 both of which are captured and mirrored on replay so eviction victims
-stay identical.
+stay identical.  A successful confirmation also refreshes the validity
+snapshot from the confirming run, so the dependencies always describe
+the newest of the two identical executions.
+
+The steady classification is the cycle-spanning complement of that
+protocol: within one quiescent phase, consecutive identical runs prove
+the absence of population; across a mutation cycle, the recording's
+own charge stream proves it (population charges ``dentry_alloc`` /
+``dlht_insert`` / ``pcc_insert`` / ... — any of which forces the
+strict counter comparison, under which today's flush semantics are
+preserved).
 
 Resolutions that call into the low-level file system (buffer-cache or
 device charges, pseudo-file generation, network RPCs) are never
-memoized: their charges depend on state the memo cannot validate in
-O(1).  The same applies to terminals on ``requires_revalidation``
+memoized: their charges depend on state the memo cannot validate
+cheaply.  The same applies to terminals on ``requires_revalidation``
 file systems (§4.3 network file systems).
 
-Invalidation is a bulk flush — there is no per-entry shootdown.  The
-memo is flushed by ``Coherence.bump_counter`` (all shootdown paths on
-the lazy profile, most on eager), by the dcache structural mutation
-points (``d_alloc``/``d_drop``/``d_move``/``evict``/``make_negative``/
-``make_positive`` — these carry the baseline profile, which has no
-invalidation counter), by PCC capacity evictions, and by the few
-syscalls whose resolution-relevant mutations can elide a counter bump
-(``chmod``/``chown``/label changes/mount table edits).  Flushing too
-often costs only wall-clock, never fidelity.
+Invalidation is *scoped*: the dcache's structural mutation points call
+:meth:`ResolutionMemo.kill` (``d_drop``/``d_move``/``evict``: drop
+every entry that depends on the dentry) and
+:meth:`ResolutionMemo.kill_miss` (``d_alloc``/``d_move``: drop every
+entry whose walk concluded from the *absence* of the name now being
+instantiated), both O(affected) through reverse indexes.  Bulk
+:meth:`flush` remains for the coarse hazards — chmod/chown/label
+changes (permission bits feed memoized prefix checks), mount table
+edits, PCC capacity evictions, and seqcount wraparound (which breaks
+every seq pin at once).  Flushing or killing too often costs only
+wall-clock, never fidelity.
 
 Snapshots drop the memo: ``__deepcopy__`` returns a fresh empty memo,
 so a restored kernel re-records from its own executions (see
@@ -84,7 +114,7 @@ __all__ = ["ResolutionMemo"]
 #: Charge primitives whose presence makes a recording non-memoizable.
 #: They are emitted by the low-level file systems and the simulated
 #: device, so their repetition depends on buffer-cache / server state
-#: the memo's O(1) validity check cannot see.
+#: the memo's validity check cannot see.
 _UNMEMOIZABLE_PRIMITIVES = frozenset({
     "fs_lookup_base",
     "fs_dirblock_scan",
@@ -96,25 +126,85 @@ _UNMEMOIZABLE_PRIMITIVES = frozenset({
     "net_rpc",
 })
 
+#: Charge primitives that mark a recording as *not* steady: cache
+#: population (allocs/inserts) or invalidation work.  Entries carrying
+#: any of these keep the strict global-counter comparison, so they can
+#: never replay across a mutation cycle — only pure-probe recordings
+#: (hash, table probes, LRU/PCC touches, permission checks) earn
+#: cycle-spanning validity.
+_STEADY_UNSAFE_PRIMITIVES = frozenset({
+    "dentry_alloc",
+    "negative_dentry_alloc",
+    "dentry_free",
+    "dlht_insert",
+    "pcc_insert",
+    "inval_per_dentry",
+    "inval_counter_bump",
+    "epoch_bump",
+    "dentry_lock",
+})
+
+#: Interned kind markers for :func:`_dentry_sig`.
+_DIR = "d"
+_FILE = "f"
+
+
+def _dentry_sig(dentry) -> tuple:
+    """State signature of a terminal dentry.
+
+    Captures everything about the dentry's *own* state that a resolve
+    conclusion can rest on without bumping its seqcount: negativity
+    (and its kind), stub/alias state, inode kind, and the DLHT
+    registration the fastpath would hit.  Regular-file inodes are
+    summarized by kind only — an unlink/create cycle instantiates a
+    fresh inode each round, and a file's own inode attributes are
+    never read during resolution (permission checks on the terminal
+    happen in the syscall layer, after resolve).  Directories are also
+    kind-only: their permission bits are covered by the chmod/chown
+    bulk flush, and walks *into* them pin the inode identity through
+    their dependency list instead.  Symlink inodes are pinned by
+    identity — a retarget must not revalidate.
+    """
+    inode = dentry.inode
+    if inode is None:
+        kind = None
+    elif inode.is_symlink:
+        kind = inode
+    elif inode.is_dir:
+        kind = _DIR
+    else:
+        kind = _FILE
+    fast = dentry.fast
+    if fast is None:
+        fsig = None
+    else:
+        fsig = (fast.dlht, fast.dlht_key, fast.hash_state is not None)
+    return (kind, dentry.neg_kind, dentry.stub, dentry.alias_target, fsig)
+
 
 class _Recording:
     """Side-channel filled while a resolution runs with recording on.
 
     ``events`` is appended to by :class:`~repro.sim.costs.CostModel`
     (every ``charge``/``charge_in``/``charge_ns``), ``lru`` by
-    ``Dcache.d_lookup`` hits, and ``pcc`` by PCC probe hits.
+    ``Dcache.d_lookup`` hits, ``pcc`` by PCC probe hits, ``deps`` by
+    the fastpath's DLHT probe hits and negativity conclusions, and
+    ``misses`` by ``Dcache.d_lookup`` misses (the (parent, name) pairs
+    whose *absence* the walk observed).
     """
 
-    __slots__ = ("events", "lru", "pcc")
+    __slots__ = ("events", "lru", "pcc", "deps", "misses")
 
     def __init__(self) -> None:
         self.events: List[tuple] = []
         self.lru: list = []
         self.pcc: List[tuple] = []
+        self.deps: list = []
+        self.misses: List[tuple] = []
 
 
 class _Entry:
-    """One memoized resolution plus its O(1) validity snapshot."""
+    """One memoized resolution plus its validity snapshot."""
 
     __slots__ = (
         "outcome_pos",      # terminal PathPos, or None if the walk raised
@@ -123,12 +213,16 @@ class _Entry:
         "stat_deltas",      # sorted tuple of (counter name, int delta)
         "lru_touches",      # dentries whose dcache-LRU slot was refreshed
         "pcc_touches",      # (pcc, dentry) pairs moved to PCC MRU
-        "counter",          # Coherence.counter at record time
+        "counter",          # Coherence.counter (checked unless steady)
         "epoch",            # Coherence.epoch at record time
         "start_dentry",     # root/cwd dentry the walk started from
         "start_seq",
         "term_dentry",      # terminal dentry (None for raised outcomes)
         "term_seq",
+        "term_sig",         # _dentry_sig of the terminal at record time
+        "deps",             # tuple of (dentry, seq, inode) pins
+        "miss_deps",        # tuple of ((id(parent), name), parent) pins
+        "steady",           # no mutation-adjacent charges: skip counter
         "refs",             # strong refs pinning every id() in the key
         "confirmed",        # replayable only after a second identical run
         "compiled",         # lazy (rates_version, rows, counts, lru, pcc, fn)
@@ -148,13 +242,14 @@ class ResolutionMemo:
     ``hits``/``misses``/``stale``/``flushes`` are host-side telemetry
     (surfaced by ``repro-speed --timing``); they deliberately live
     outside :class:`~repro.sim.stats.Stats` so the memo never perturbs
-    golden counters.
+    golden counters.  ``flushes`` counts invalidation events — bulk
+    flushes and scoped kills that removed at least one entry.
     """
 
     __slots__ = (
         "costs", "stats", "coherence", "dcache", "resolver", "capacity",
-        "_entries", "_seqarr", "_miss_score", "_burn", "hits", "misses",
-        "stale", "flushes",
+        "_entries", "_seqarr", "_by_dep", "_by_miss", "_miss_score",
+        "_burn", "hits", "misses", "stale", "flushes",
     )
 
     #: Consecutive misses of one key before its resolutions are worth
@@ -186,6 +281,14 @@ class ResolutionMemo:
         #: only in place, so the binding stays valid for this kernel's
         #: lifetime).
         self._seqarr = dcache.arena.seq
+        #: Reverse index: id(dentry) -> {key: entry} for every entry
+        #: that depends on the dentry (term or deps).  Drives
+        #: :meth:`kill` in O(affected entries).
+        self._by_dep: dict = {}
+        #: Reverse index: (id(parent), name) -> {key: entry} for every
+        #: entry whose walk observed that name absent under that
+        #: parent.  Drives :meth:`kill_miss` from ``d_alloc``/``d_move``.
+        self._by_miss: dict = {}
         #: Per-key miss streaks surviving flushes (see :meth:`resolve`).
         self._miss_score: dict = {}
         #: Per-key recording backoff: recordings that never confirmed.
@@ -197,6 +300,35 @@ class ResolutionMemo:
 
     # ------------------------------------------------------------------
     # hot path
+
+    def _valid(self, entry: _Entry, start) -> bool:
+        """Does ``entry``'s validity snapshot still hold?"""
+        coh = self.coherence
+        if entry.epoch != coh.epoch:
+            return False
+        if not entry.steady and entry.counter != coh.counter:
+            return False
+        seqarr = self._seqarr
+        sh = start.h
+        if (start is not entry.start_dentry or sh < 0
+                or seqarr[sh] != entry.start_seq):
+            return False
+        term = entry.term_dentry
+        if term is not None:
+            th = term.h
+            if (th < 0 or seqarr[th] != entry.term_seq
+                    or _dentry_sig(term) != entry.term_sig):
+                return False
+        for d, seq, inode in entry.deps:
+            h = d.h
+            if h < 0 or seqarr[h] != seq or d.inode is not inode:
+                return False
+        for pcc, d in entry.pcc_touches:
+            e = pcc._entries.get(id(d))
+            h = d.h
+            if e is None or e[0] is not d or h < 0 or e[1] != seqarr[h]:
+                return False
+        return True
 
     def resolve(self, task, path: str, follow_last: bool,
                 intent_create: bool, create_dir: bool) -> PathPos:
@@ -220,48 +352,33 @@ class ResolutionMemo:
         entries = self._entries
         entry = entries.get(key)
         if entry is not None:
-            coh = self.coherence
             start = root_dentry if path.startswith("/") else cwd_dentry
-            term = entry.term_dentry
-            # Liveness + seq checks go through the arena: a retired
-            # (dead) dentry has handle -1, and the seq column is indexed
-            # directly instead of loading dentry attributes.
-            seqarr = self._seqarr
-            sh = start.h
-            if (entry.counter == coh.counter and entry.epoch == coh.epoch
-                    and start is entry.start_dentry and sh >= 0
-                    and seqarr[sh] == entry.start_seq):
-                if term is None:
-                    term_ok = True
-                else:
-                    th = term.h
-                    term_ok = th >= 0 and seqarr[th] == entry.term_seq
-                if term_ok:
-                    if entry.confirmed:
-                        self.hits += 1
-                        entries.move_to_end(key)
-                        return self._replay(entry)
-                    return self._confirm(key, entry, task, path, follow_last,
-                                         intent_create, create_dir)
+            if self._valid(entry, start):
+                if entry.confirmed:
+                    self.hits += 1
+                    entries.move_to_end(key)
+                    return self._replay(entry)
+                return self._confirm(key, entry, task, path, follow_last,
+                                     intent_create, create_dir)
             self.stale += 1
             if entries.get(key) is entry:
                 del entries[key]
+                self._unregister(key, entry)
         self.misses += 1
         # Record-worthiness gate: recording costs real wall-clock (the
         # attached recorder, the stats diff, the store+match machinery),
-        # and in mutation-heavy phases every recording is flushed before
-        # it can confirm — pure waste.  A key must miss _RECORD_AFTER
-        # times before its resolutions are recorded; the streak counter
-        # survives flushes (it carries no validity state), and recording
-        # resets it.  On top of the flat gate sits an exponential
-        # backoff: every recording that never confirms doubles the
-        # key's effective threshold (capped at ``<< _MAX_BURN``), and a
-        # successful confirm resets it — so the keys a workload's own
-        # mutations flush every pass (create/unlink/rename arguments)
-        # asymptotically stop being recorded, while steady hot paths
-        # stay eager.  Virtual charges are identical either way — the
-        # gate only defers when the memo starts trying to capture a
-        # path.
+        # and in mutation-heavy phases every recording is invalidated
+        # before it can confirm — pure waste.  A key must miss
+        # _RECORD_AFTER times before its resolutions are recorded; the
+        # streak counter survives flushes (it carries no validity
+        # state), and recording resets it.  On top of the flat gate
+        # sits an exponential backoff: every recording that never
+        # confirms doubles the key's effective threshold (capped at
+        # ``<< _MAX_BURN``), and a successful confirm resets it — so
+        # keys whose recordings can never stabilize asymptotically stop
+        # being recorded, while steady hot paths stay eager.  Virtual
+        # charges are identical either way — the gate only defers when
+        # the memo starts trying to capture a path.
         score = self._miss_score
         streak = score.get(key, 0)
         if streak < self._RECORD_AFTER << min(self._burn.get(key, 0),
@@ -332,8 +449,8 @@ class ResolutionMemo:
                          for pcc, d in entry.pcc_touches)
         # The exec-compiled straight-line replayer (slot 5) is deferred
         # until the entry proves hot (_EXEC_AFTER interpreted replays):
-        # churny workloads flush entries after a few replays, and an
-        # ``exec`` per short-lived entry costs more than it saves.
+        # churny workloads invalidate entries after a few replays, and
+        # an ``exec`` per short-lived entry costs more than it saves.
         compiled = (version, rows, count_deltas, lru_rows, pcc_rows, None)
         entry.compiled = compiled
         entry.replays = 0
@@ -379,6 +496,113 @@ class ResolutionMemo:
                 return False
         return True
 
+    def _snapshot(self, key, entry: _Entry, task, path,
+                  rec: _Recording) -> None:
+        """(Re)capture ``entry``'s validity snapshot from ``rec`` and
+        register it in the reverse indexes."""
+        coh = self.coherence
+        entry.counter = coh.counter
+        entry.epoch = coh.epoch
+        start = task.root.dentry if path.startswith("/") else task.cwd.dentry
+        entry.start_dentry = start
+        entry.start_seq = start.seq
+        pos = entry.outcome_pos
+        term = pos.dentry if pos is not None else None
+        entry.term_dentry = term
+        if term is not None:
+            entry.term_seq = term.seq
+            entry.term_sig = _dentry_sig(term)
+        else:
+            entry.term_seq = 0
+            entry.term_sig = None
+        # Dependency pins: every dentry the walk's conclusion rested on
+        # — dcache-LRU hits, fastpath DLHT/negativity conclusions, and
+        # PCC probe targets (the PCC hit condition alone does not see
+        # negativity flips, so the inode pin rides along here).  The
+        # terminal is excluded: its cycle-tolerant state signature
+        # replaces the inode pin so unlink/create cycles can revalidate.
+        deps = []
+        seen = set()
+        for source in (rec.lru, rec.deps):
+            for d in source:
+                if d is term:
+                    continue
+                i = id(d)
+                if i in seen:
+                    continue
+                seen.add(i)
+                deps.append((d, d.seq, d.inode))
+        for _pcc, d in rec.pcc:
+            if d is term:
+                continue
+            i = id(d)
+            if i in seen:
+                continue
+            seen.add(i)
+            deps.append((d, d.seq, d.inode))
+        entry.deps = tuple(deps)
+        miss_deps = []
+        mseen = set()
+        for parent, name in rec.misses:
+            mkey = (id(parent), name)
+            if mkey in mseen:
+                continue
+            mseen.add(mkey)
+            miss_deps.append((mkey, parent))
+        entry.miss_deps = tuple(miss_deps)
+        unsafe = _STEADY_UNSAFE_PRIMITIVES
+        steady = True
+        for event in entry.events:
+            if event[1] in unsafe:
+                steady = False
+                break
+        entry.steady = steady
+        by_dep = self._by_dep
+        for d, _seq, _inode in entry.deps:
+            i = id(d)
+            bucket = by_dep.get(i)
+            if bucket is None:
+                by_dep[i] = bucket = {}
+            bucket[key] = entry
+        if term is not None:
+            i = id(term)
+            bucket = by_dep.get(i)
+            if bucket is None:
+                by_dep[i] = bucket = {}
+            bucket[key] = entry
+        by_miss = self._by_miss
+        for mkey, _parent in entry.miss_deps:
+            bucket = by_miss.get(mkey)
+            if bucket is None:
+                by_miss[mkey] = bucket = {}
+            bucket[key] = entry
+
+    def _unregister(self, key, entry: _Entry) -> None:
+        """Remove ``entry``'s reverse-index registrations."""
+        by_dep = self._by_dep
+        for d, _seq, _inode in entry.deps:
+            i = id(d)
+            bucket = by_dep.get(i)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del by_dep[i]
+        term = entry.term_dentry
+        if term is not None:
+            i = id(term)
+            bucket = by_dep.get(i)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del by_dep[i]
+        by_miss = self._by_miss
+        for mkey, _parent in entry.miss_deps:
+            bucket = by_miss.get(mkey)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del by_miss[mkey]
+
     def _store(self, key, task, path, pos, exc, rec, deltas) -> None:
         if not self._memoizable(rec, pos):
             return
@@ -394,15 +618,6 @@ class ResolutionMemo:
         entry.stat_deltas = deltas
         entry.lru_touches = rec.lru
         entry.pcc_touches = rec.pcc
-        coh = self.coherence
-        entry.counter = coh.counter
-        entry.epoch = coh.epoch
-        start = task.root.dentry if path.startswith("/") else task.cwd.dentry
-        entry.start_dentry = start
-        entry.start_seq = start.seq
-        term = pos.dentry if pos is not None else None
-        entry.term_dentry = term
-        entry.term_seq = term.seq if term is not None else 0
         # Strong refs keep every object behind an id() in the key (and
         # in the touch lists) alive, so ids can never be recycled while
         # the entry can still match.
@@ -410,11 +625,13 @@ class ResolutionMemo:
         entry.confirmed = False
         entry.compiled = None
         entry.replays = 0
+        self._snapshot(key, entry, task, path, rec)
         entries = self._entries
         entries[key] = entry
         entries.move_to_end(key)
         if len(entries) > self.capacity:
-            entries.popitem(last=False)
+            old_key, old_entry = entries.popitem(last=False)
+            self._unregister(old_key, old_entry)
 
     def _record(self, key, task, path, follow_last, intent_create,
                 create_dir) -> PathPos:
@@ -431,19 +648,25 @@ class ResolutionMemo:
         execution is indistinguishable from the recorded one."""
         pos, exc, rec, deltas = self._run_recorded(
             task, path, follow_last, intent_create, create_dir)
-        # The resolve itself may have flushed the memo (e.g. a dcache
-        # eviction while populating); only touch the entry if it is
-        # still the one we validated.
+        # The resolve itself may have invalidated the entry (e.g. a
+        # dcache eviction while populating); only touch the entry if it
+        # is still the one we validated.
         if self._entries.get(key) is entry and self._matches(
                 entry, pos, exc, rec, deltas):
             entry.confirmed = True
+            # Refresh the validity snapshot from this (newest) run: the
+            # two executions were observably identical, but the second
+            # one's dependencies describe the current cache state.
+            self._unregister(key, entry)
+            self._snapshot(key, entry, task, path, rec)
             self._entries.move_to_end(key)
             # The capture paid off: drop the recording backoff so the
-            # key stays eager after future flushes.
+            # key stays eager after future invalidations.
             self._burn.pop(key, None)
         else:
             if self._entries.get(key) is entry:
                 del self._entries[key]
+                self._unregister(key, entry)
             self._store(key, task, path, pos, exc, rec, deltas)
         if exc is not None:
             raise exc
@@ -485,9 +708,51 @@ class ResolutionMemo:
     # invalidation / accounting
 
     def flush(self) -> None:
-        """Bulk-invalidate every entry (no per-entry shootdown)."""
+        """Bulk-invalidate every entry (coarse hazards only: permission
+        or label changes, mount table edits, PCC capacity evictions,
+        seqcount wraparound)."""
         if self._entries:
             self._entries.clear()
+            self._by_dep.clear()
+            self._by_miss.clear()
+            self.flushes += 1
+
+    def kill(self, dentry) -> None:
+        """Scoped invalidation: drop every entry depending on ``dentry``.
+
+        Called by the dcache on ``d_drop``/``d_move``/``evict`` (and,
+        via eviction, for the parent whose ``dir_complete`` flag the
+        eviction broke).  O(affected entries) through the reverse
+        index; a dentry no entry depends on costs one dict probe.
+        """
+        bucket = self._by_dep.pop(id(dentry), None)
+        if not bucket:
+            return
+        entries = self._entries
+        removed = False
+        for key, entry in bucket.items():
+            if entries.get(key) is entry:
+                del entries[key]
+                removed = True
+            self._unregister(key, entry)
+        if removed:
+            self.flushes += 1
+
+    def kill_miss(self, parent, name: str) -> None:
+        """Scoped invalidation for a name being instantiated: drop every
+        entry whose walk concluded from ``name`` being absent under
+        ``parent`` (``d_alloc`` and the destination of ``d_move``)."""
+        bucket = self._by_miss.pop((id(parent), name), None)
+        if not bucket:
+            return
+        entries = self._entries
+        removed = False
+        for key, entry in bucket.items():
+            if entries.get(key) is entry:
+                del entries[key]
+                removed = True
+            self._unregister(key, entry)
+        if removed:
             self.flushes += 1
 
     def __len__(self) -> int:
@@ -515,6 +780,8 @@ class ResolutionMemo:
         new.capacity = self.capacity
         new._entries = OrderedDict()
         new._seqarr = new.dcache.arena.seq
+        new._by_dep = {}
+        new._by_miss = {}
         new._miss_score = {}
         new._burn = {}
         new.hits = 0

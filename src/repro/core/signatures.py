@@ -116,6 +116,18 @@ class PathHasher:
         # (SigState.length counts characters, matching the original
         # per-byte loop's ``len(text)`` bookkeeping).
         self._contrib: Dict[str, Tuple[int, int, int, int, int, int]] = {}
+        # (state, component) -> state: transition memo.  Path walks
+        # repeat the same prefix transitions constantly (every lookup
+        # under a hot directory resumes the same state with the same
+        # names), and each uncached transition costs two ~128-bit
+        # modular multiplies.  The function is pure over exact integers,
+        # so caching cannot change any produced value.  Bounded with the
+        # same flat-clear policy as ``_contrib``.
+        self._ext_cache: Dict[Tuple[SigState, str], SigState] = {}
+        # state -> finished signature (same rationale: ``finish`` splits
+        # a 216-bit combined value with shifts/masks on every DLHT probe
+        # and insert; hot states repeat).
+        self._fin_cache: Dict[SigState, Signature] = {}
 
     #: The state of the empty path (the namespace root).
     EMPTY = SigState(0, 0, 0)
@@ -156,6 +168,18 @@ class PathHasher:
 
     def extend(self, state: SigState, component: str) -> SigState:
         """Resume ``state`` with one more path component."""
+        cache = self._ext_cache
+        key = (state, component)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._extend_uncached(state, component)
+        if len(cache) >= _COMPONENT_CACHE_CAP:
+            cache.clear()
+        cache[key] = result
+        return result
+
+    def _extend_uncached(self, state: SigState, component: str) -> SigState:
         entry = self._contrib.get(component)
         if entry is None:
             entry = self._contribution(component)
@@ -205,10 +229,18 @@ class PathHasher:
 
     def finish(self, state: SigState) -> Signature:
         """Produce the (index, signature) pair for a finished path."""
+        cache = self._fin_cache
+        cached = cache.get(state)
+        if cached is not None:
+            return cached
         combined = (state.h1 << 89) | state.h2
         index = combined & ((1 << self.index_bits) - 1)
         bits = (combined >> self.index_bits) & self._sig_mask
-        return Signature(index, bits)
+        result = Signature(index, bits)
+        if len(cache) >= _COMPONENT_CACHE_CAP:
+            cache.clear()
+        cache[state] = result
+        return result
 
     def sign_components(self, components) -> Signature:
         """Convenience: hash a whole component list from the root."""

@@ -143,9 +143,11 @@ class PlanRecording:
     Mirrors the shape the :class:`CostModel` recorder protocol expects
     (see :mod:`repro.core.resmemo`): ``events`` receives every
     ``charge``/``charge_in``/``charge_ns`` tuple, ``lru`` dcache-LRU
-    touches, ``pcc`` PCC probe hits.  A capture whose ``lru``/``pcc``
-    lists are non-empty touched resolution-side state and is rejected
-    (charge plans cover only fd-table syscalls).
+    touches, ``pcc`` PCC probe hits, ``deps`` fastpath probe/negativity
+    conclusions, ``misses`` primary-table lookup misses.  A capture
+    whose ``lru``/``pcc`` lists are non-empty touched resolution-side
+    state and is rejected (charge plans cover only fd-table syscalls);
+    ``deps``/``misses`` exist only to satisfy the recorder protocol.
 
     ``boundary``/``fired`` are stamped by the quantized-sweep wrapper in
     ``workloads/traces.py`` when a recorded replay pass crosses a
@@ -156,12 +158,15 @@ class PlanRecording:
     emulate the ticker exactly (see ``_program_plan_pass``).
     """
 
-    __slots__ = ("events", "lru", "pcc", "boundary", "fired")
+    __slots__ = ("events", "lru", "pcc", "deps", "misses", "boundary",
+                 "fired")
 
     def __init__(self) -> None:
         self.events: list = []
         self.lru: list = []
         self.pcc: list = []
+        self.deps: list = []
+        self.misses: list = []
         self.boundary = None
         self.fired = None
 
@@ -271,7 +276,7 @@ class ChargePlanRegistry:
     PASS_FAIL_STREAK = 2
 
     __slots__ = ("gen", "compiled", "applied", "invalidated", "fallbacks",
-                 "task_confirms", "_tables", "_pass_tables",
+                 "task_confirms", "patched", "_tables", "_pass_tables",
                  "_shape_tables", "_drain_tables")
 
     def __init__(self) -> None:
@@ -283,6 +288,9 @@ class ChargePlanRegistry:
         #: Tasks admitted to a shared task-generic plan after their
         #: recorded run matched the plan's capture.
         self.task_confirms = 0
+        #: Plans rebuilt in place from a shape-local fresh capture
+        #: (:meth:`patch`) instead of dying through invalidate+recapture.
+        self.patched = 0
         #: id(program) -> (program, [PlanCell per segment]).  The
         #: strong program ref pins the id against reuse; the identity
         #: check in :meth:`cells` catches deepcopied tables.  Cell
@@ -364,11 +372,68 @@ class ChargePlanRegistry:
         self._pass_tables[key] = (program, task, cell)
         return cell
 
+    @staticmethod
+    def shape_local(events, base) -> bool:
+        """True when ``events`` differs from ``base`` only in charge vectors.
+
+        Two clean captures are *shape-local* when they charge the same
+        ``(scope, primitive)`` rows in the same order and differ only in
+        the per-row numbers — ``times``/``nbytes`` for primitive charges,
+        raw nanoseconds for app-compute rows.  That is the signature of a
+        mutation moving a charge vector without restructuring the stream
+        (a rename changing component byte counts, a compute knob turning)
+        — the one mismatch class where rebuilding the plan from the fresh
+        capture (:meth:`patch`) is cheaper than a full
+        invalidate+recapture cycle and just as sound, because the replay
+        function is recompiled from the new stream wholesale.
+        """
+        if len(events) != len(base):
+            return False
+        for e, b in zip(events, base):
+            if e[0] is not b[0] and e[0] != b[0]:
+                return False
+            if e[1] != b[1]:
+                return False
+            # Raw-ns rows carry (sentinel, hint, ns, scope-at-charge):
+            # the attribution scope is part of the shape, the ns is not.
+            if e[0] is _RAW_NS and e[3] != b[3]:
+                return False
+        return True
+
+    def patch(self, cell: "PlanCell", fn, total_ns: float, capture,
+              rates_version: int, task) -> None:
+        """Rebuild a segment cell's plan in place from a fresh capture.
+
+        Delta-patch arm of the task-confirm protocol (see
+        ``workloads/traces.py``): a clean, twice-seen, shape-local
+        capture replaces the stored plan without tearing the cell down —
+        no warmup restart, no ghost-recapture cycle.  Only ``task`` (the
+        one whose recorded runs produced the capture) stays admitted;
+        every other task must re-confirm against the new capture on its
+        next encounter, exactly as if the plan had just compiled.
+        """
+        plan = ChargePlan()
+        plan.fn = fn
+        plan.stat_deltas = capture[1]
+        plan.total_ns = total_ns
+        plan.gen = self.gen
+        plan.rates_version = rates_version
+        plan.capture = capture
+        plan.fn2 = None
+        plan.q_fired = None
+        plan.body_ns = total_ns
+        cell.plan = plan
+        cell.pending = None
+        cell.fail_streak = 0
+        cell.tasks = {id(task): task}
+        self.patched += 1
+
     def telemetry(self) -> Dict[str, int]:
         return {"compiled": self.compiled, "applied": self.applied,
                 "invalidated": self.invalidated,
                 "fallbacks": self.fallbacks,
-                "task_confirms": self.task_confirms}
+                "task_confirms": self.task_confirms,
+                "patched": self.patched}
 
     def __deepcopy__(self, memo) -> "ChargePlanRegistry":
         """Snapshots drop captured plans: a clone starts empty.
@@ -512,6 +577,79 @@ class CostModel:
         if rec is not None:
             rec.events.append((scope, primitive, times, nbytes))
         return ns
+
+    def charge_many(self, primitives) -> None:
+        """Charge a fixed sequence of single-count primitives.
+
+        Exactly equivalent to calling :meth:`charge` once per primitive
+        (same float additions in the same order, same recorder events,
+        same scope attribution) with the per-call dispatch paid once —
+        for hot sites that always charge the same short primitive run.
+        """
+        rates = self._rates
+        clock = self.clock
+        by_primitive = self.by_primitive
+        counts = self.counts
+        stack = self._scope_stack
+        scope = stack[-1] if stack else None
+        by_scope = self.by_scope
+        rec = self.recorder
+        for primitive in primitives:
+            try:
+                per_call, _per_byte = rates[primitive]
+            except KeyError:
+                raise KeyError(
+                    f"unknown cost primitive: {primitive!r}") from None
+            ns = per_call * 1
+            clock._now_ns = clock._now_ns + ns
+            try:
+                counts[primitive] += 1
+                by_primitive[primitive] += ns
+            except KeyError:
+                counts[primitive] = counts.get(primitive, 0) + 1
+                by_primitive[primitive] = by_primitive.get(primitive,
+                                                           0.0) + ns
+            if scope is not None:
+                try:
+                    by_scope[scope] += ns
+                except KeyError:
+                    by_scope[scope] = ns
+            if rec is not None:
+                rec.events.append((scope, primitive, 1, 0))
+
+    def charge_in_many(self, scope: str, primitives) -> None:
+        """:meth:`charge_in` over a fixed primitive sequence, one call.
+
+        Bit-identical to per-primitive ``charge_in(scope, p)`` calls in
+        the same order.
+        """
+        rates = self._rates
+        clock = self.clock
+        by_primitive = self.by_primitive
+        counts = self.counts
+        by_scope = self.by_scope
+        rec = self.recorder
+        for primitive in primitives:
+            try:
+                per_call, _per_byte = rates[primitive]
+            except KeyError:
+                raise KeyError(
+                    f"unknown cost primitive: {primitive!r}") from None
+            ns = per_call * 1
+            clock._now_ns = clock._now_ns + ns
+            try:
+                counts[primitive] += 1
+                by_primitive[primitive] += ns
+            except KeyError:
+                counts[primitive] = counts.get(primitive, 0) + 1
+                by_primitive[primitive] = by_primitive.get(primitive,
+                                                           0.0) + ns
+            try:
+                by_scope[scope] += ns
+            except KeyError:
+                by_scope[scope] = ns
+            if rec is not None:
+                rec.events.append((scope, primitive, 1, 0))
 
     def charge_ns(self, scope_hint: str, ns: float) -> None:
         """Charge raw nanoseconds (used for app 'compute' phases)."""

@@ -231,6 +231,15 @@ class KernelSnapshot:
 
     def __init__(self, kernel, *extras: Any):
         self._frozen = clone_kernel(kernel, *extras)
+        # Capture-time trim: every restore re-copies the frozen image's
+        # arena columns wholesale, so retired trailing slots would be
+        # memcpy'd on every restore for nothing.  Compacting the frozen
+        # copy (never the live kernel) is always pin-safe — only free
+        # slots are trimmed, and a slot is freed strictly after its
+        # dentry view materialized the scalars it still needs
+        # (:meth:`repro.core.arena.DentryArena.retire`).  Interior
+        # handles are untouched, so live dentries are unaffected.
+        self._frozen[0].dcache.arena.compact()
 
     def restore(self) -> Tuple[Any, ...]:
         """A fresh ``(kernel, *extras)`` copy of the captured state."""

@@ -24,6 +24,11 @@ from repro.sim.stats import Stats
 from repro.vfs.dentry import Dentry, NEG_ENOENT
 from repro.vfs.inode import Inode, InodeTable
 
+#: Fixed charge runs for ``d_lookup`` (one batched call per probe; the
+#: primitive order matches the historical per-call sequence exactly).
+_HIT_CHARGES = ("ht_probe", "chain_compare", "lru_touch")
+_MISS_CHARGES = ("ht_probe", "chain_compare")
+
 
 class DcacheHooks:
     """Extension points the optimized kernel implements (all no-ops here)."""
@@ -76,15 +81,13 @@ class Dcache:
         self._roots: Dict[int, Dentry] = {}
         self._inode_tables: Dict[int, InodeTable] = {}
         self.count = 0
-        #: Resolution memo to bulk-flush on structural mutations (set by
-        #: the kernel; these hooks are what keep the memo safe on the
-        #: baseline profile, which has no invalidation counter).
+        #: Resolution memo to invalidate on structural mutations (set by
+        #: the kernel).  Mutation points issue *scoped* kills — by
+        #: dependent dentry (``kill``) or by instantiated name
+        #: (``kill_miss``) — so unrelated memo entries survive; these
+        #: hooks are what keep the memo safe on the baseline profile,
+        #: which has no invalidation counter.
         self.memo = None
-
-    def _flush_memo(self) -> None:
-        memo = self.memo
-        if memo is not None:
-            memo.flush()
 
     # -- superblock roots ---------------------------------------------------
 
@@ -132,12 +135,9 @@ class Dcache:
         hottest path in the simulator.
         """
         costs = self.costs
-        charge_in = costs.charge_in
-        charge_in("htlookup", "ht_probe")
-        charge_in("htlookup", "chain_compare")
         dentry = parent.children.get(name)
         if dentry is not None:
-            charge_in("htlookup", "lru_touch")
+            costs.charge_in_many("htlookup", _HIT_CHARGES)
             lru = self._lru
             lru[id(dentry)] = dentry
             lru.move_to_end(id(dentry))
@@ -145,6 +145,14 @@ class Dcache:
             rec = costs.recorder
             if rec is not None:
                 rec.lru.append(dentry)
+        else:
+            costs.charge_in_many("htlookup", _MISS_CHARGES)
+            rec = costs.recorder
+            if rec is not None:
+                # The walk is about to conclude something from this
+                # name's *absence*; instantiating it later must
+                # invalidate the recording (ResolutionMemo.kill_miss).
+                rec.misses.append((parent, name))
         return dentry
 
     def d_alloc(self, parent: Dentry, name: str,
@@ -164,7 +172,10 @@ class Dcache:
         self._hash[key] = dentry
         parent.children[name] = dentry
         self.count += 1
-        self._flush_memo()
+        memo = self.memo
+        if memo is not None:
+            # Only walks that concluded from this name's absence care.
+            memo.kill_miss(parent, name)
         self._touch_lru(dentry)
         # The caller holds a reference to the new dentry (it is about to
         # be returned); the shrink pass must not reclaim it.
@@ -209,7 +220,9 @@ class Dcache:
         dentry.dead = True
         dentry.seq += 1
         self.count -= 1
-        self._flush_memo()
+        memo = self.memo
+        if memo is not None:
+            memo.kill(dentry)
         self.hooks.on_unhash(dentry)
         dentry.retire()
         self.costs.charge("dentry_free")
@@ -222,7 +235,9 @@ class Dcache:
         dentry.stub = None
         dentry.neg_kind = kind
         dentry.dir_complete = False
-        self._flush_memo()
+        # No memo invalidation needed: entries depending on this dentry
+        # pin its inode by identity, and entries terminating on it match
+        # a state signature — both see the transition.
         self.hooks.on_make_negative(dentry)
 
     def make_positive(self, dentry: Dentry, inode: Inode) -> None:
@@ -230,7 +245,8 @@ class Dcache:
         dentry.inode = inode
         dentry.stub = None
         dentry.neg_kind = None
-        self._flush_memo()
+        # Covered by memo inode-identity pins / terminal signatures,
+        # exactly as in make_negative above.
         self.hooks.on_make_positive(dentry)
 
     # -- rename support ----------------------------------------------------------------
@@ -258,7 +274,14 @@ class Dcache:
             arena.parent[h] = new_parent.h
         self._hash[self._key(new_parent, new_name)] = dentry
         new_parent.children[new_name] = dentry
-        self._flush_memo()
+        memo = self.memo
+        if memo is not None:
+            # A move does not bump the dentry's seqcount (only the arena
+            # name/parent columns change), so entries that resolved
+            # through it must be killed explicitly; and the destination
+            # name just came into existence for absence-based walks.
+            memo.kill(dentry)
+            memo.kill_miss(new_parent, new_name)
         self.hooks.on_move(dentry, old_parent, old_name)
 
     # -- LRU / shrinking ------------------------------------------------------------
@@ -310,7 +333,13 @@ class Dcache:
         dentry.dead = True
         dentry.seq += 1
         self.count -= 1
-        self._flush_memo()
+        memo = self.memo
+        if memo is not None:
+            memo.kill(dentry)
+            # The parent's broken dir_complete flag is invisible to the
+            # memo's validity check (no seq/epoch/counter changes), so
+            # entries that walked through the parent go too.
+            memo.kill(parent)
         self.hooks.on_unhash(dentry)
         dentry.retire()
         self.costs.charge("dentry_free")

@@ -708,8 +708,20 @@ class _StreamState:
         executions apply the shared plan under the usual guards.  An
         unclean recording (a sweep batch fired mid-run, an LRU/PCC
         touch) gives no verdict either way; a *clean* mismatch means
-        the shape key failed to predict this task's charges, which
-        invalidates the shared plan for everyone.
+        the shape key failed to predict this task's charges.
+
+        Clean mismatches split two ways.  When the fresh capture is
+        *shape-local* to the stored one — same ``(scope, primitive)``
+        rows, only the charge vectors moved (a rename changed component
+        byte counts, say) — the plan is *delta-patched* in place: the
+        capture stages on ``cell.pending``, and a second identical
+        recorded run rebuilds the plan from it
+        (:meth:`~repro.sim.costs.ChargePlanRegistry.patch`) without
+        tearing the cell down through warmup.  The same
+        confirm-on-second-identical-run bar as compilation, at a third
+        of the interpreted executions.  A structural mismatch — or a
+        cell that has burned its retry budget staging patches — falls
+        back to the full invalidate+recapture cycle.
         """
         registry = self.registry
         costs = self.costs
@@ -727,6 +739,16 @@ class _StreamState:
             registry.task_confirms += 1
         elif rec.lru or rec.pcc or not _capture_clean(events):
             registry.fallbacks += 1
+        elif cell.retries <= registry.MAX_RETRIES \
+                and registry.shape_local(events, plan.capture[0]):
+            if cell.pending == capture:
+                fn, total = _plan_fn(costs, events)
+                registry.patch(cell, fn, total, capture,
+                               costs.rates_version, self.task)
+            else:
+                cell.pending = capture
+                cell.retries += 1
+                registry.fallbacks += 1
         else:
             registry.invalidated += 1
             cell.reset()

@@ -1,0 +1,407 @@
+"""Mutation-path overhaul differentials (batched shootdowns, memoized
+mutation resolves, delta-patched charge plans).
+
+Three wall-clock optimizations share one contract: virtual costs must be
+bit-identical with the optimization on or off, against a reference
+implementation, on every profile.  This module pins each:
+
+* the batched column-bound eager shootdown
+  (:meth:`repro.core.coherence.Coherence.shootdown_subtree`) against an
+  inline re-implementation of the old per-dentry recursive walk —
+  fixed-tree golden check plus a hypothesis sweep over random subtree
+  shapes including bind mounts, symlinks, and negative dentries;
+* the scoped-invalidation resolution memo on mutation-heavy
+  create/stat/rename/unlink churn, memo on vs. off;
+* charge-plan delta patching
+  (:meth:`repro.sim.costs.ChargePlanRegistry.patch`) vs. the
+  invalidate+recapture fallback, plans on vs. off;
+* the lazy sweeper's ``sweep_all`` as a pure function of cache state
+  (the half-consumed-worklist double-scan regression).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import O_CREAT, O_RDWR, make_kernel
+from repro.core.coherence import SEQ_WRAP
+from repro.errors import FsError
+from repro.workloads.compile import build_loop_trace, compile_trace
+from repro.workloads.traces import _plan_fn, replay_compiled
+
+PROFILES = ("baseline", "optimized", "optimized-lazy")
+
+
+def _fingerprint(kernel):
+    """Every virtual-cost accumulator, exact floats included."""
+    costs = kernel.costs
+    return (costs.now_ns, dict(costs.counts), dict(costs.by_primitive),
+            dict(costs.by_scope), kernel.stats.snapshot())
+
+
+# -- batched vs. recursive shootdown ---------------------------------------
+
+def _reference_shootdown_subtree(coh, dentry, include_self=True):
+    """The pre-batching eager arm: one recursive per-dentry invalidation.
+
+    Semantically what ``shootdown_subtree`` compiled to before the
+    collect-then-bulk rewrite: descend the cached subtree (through
+    mountpoints, cycle-safe), charge ``inval_per_dentry`` and bump the
+    seq per dentry, drop fast state and DLHT registrations as
+    encountered, and elide the global counter bump when no fastpath
+    state was found and nothing is mid-walk.  Every accumulator the
+    batched walk touches receives the same additions (visit order is
+    immaterial: each accumulator folds N copies of the same float).
+    """
+    assert not coh.lazy
+    visited = set()
+    found_fast = 0
+    mounts = coh._mounts_on
+
+    def invalidate_one(d):
+        coh.costs.charge("inval_per_dentry")
+        coh.stats.bump("inval_dentry")
+        seq = d.seq + 1
+        d.seq = seq
+        if seq >= SEQ_WRAP:
+            coh.wraparound_flush()
+        fast = d.fast
+        if fast is not None:
+            fast.invalidate()
+            if fast.dlht is not None:
+                fast.dlht.remove(d)
+
+    def walk(d):
+        nonlocal found_fast
+        if id(d) in visited:
+            return
+        visited.add(id(d))
+        if d.fast is not None:
+            found_fast += 1
+        invalidate_one(d)
+        for child in list(d.children.values()):
+            walk(child)
+        for root in mounts.get(id(d), ()):
+            walk(root)
+
+    if include_self:
+        walk(dentry)
+    else:
+        for child in list(dentry.children.values()):
+            walk(child)
+        for root in mounts.get(id(dentry), ()):
+            walk(root)
+    if found_fast == 0 and coh.walks_active == 0:
+        coh.stats.bump("counter_bump_elided")
+        return
+    coh.bump_counter()
+
+
+def _grow_tree(kernel, task, spec):
+    """Build a tree under ``/t`` from a drawn op list; returns dir paths.
+
+    Ops are ``(kind, a, b)`` with ``a``/``b`` small integers selecting
+    parents/targets modulo the directories built so far, so any drawn
+    list produces *some* valid tree — errors (duplicate names, mount
+    loops the VFS rejects) are swallowed, keeping the generator total.
+    """
+    sys = kernel.sys
+    sys.mkdir(task, "/t")
+    dirs = ["/t"]
+    for kind, a, b in spec:
+        parent = dirs[a % len(dirs)]
+        try:
+            if kind == "dir":
+                path = f"{parent}/d{b}"
+                sys.mkdir(task, path)
+                dirs.append(path)
+            elif kind == "file":
+                fd = sys.open(task, f"{parent}/f{b}", O_CREAT | O_RDWR)
+                sys.close(task, fd)
+            elif kind == "symlink":
+                sys.symlink(task, dirs[b % len(dirs)], f"{parent}/l{b}")
+            elif kind == "neg":
+                sys.stat(task, f"{parent}/missing{b}")
+            elif kind == "mount":
+                dst = f"{parent}/m{b}"
+                sys.mkdir(task, dst)
+                sys.bind_mount(task, dirs[b % len(dirs)], dst)
+        except FsError:
+            continue
+    # Warm fastpath/DLHT/PCC state over the whole tree so the shootdown
+    # has cached descendants to invalidate.
+    for path in dirs:
+        try:
+            sys.stat(task, path)
+        except FsError:
+            pass
+    return dirs
+
+
+def _shootdown_differential(spec, root_pick, include_self):
+    """Run the real batched walk and the reference walk on twin kernels."""
+    state = []
+    for reference in (False, True):
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        dirs = _grow_tree(kernel, task, spec)
+        target = dirs[root_pick % len(dirs)]
+        dentry = kernel.sys._resolve(task, target, follow_last=True).dentry
+        if reference:
+            _reference_shootdown_subtree(kernel.coherence, dentry,
+                                         include_self)
+        else:
+            kernel.coherence.shootdown_subtree(dentry, include_self)
+        digest = []
+        for path in dirs:
+            try:
+                d = kernel.sys._resolve(task, path,
+                                        follow_last=True).dentry
+            except FsError:
+                digest.append((path, None, None))
+                continue
+            stale = d.fast is None or d.fast.hash_state is None
+            digest.append((path, d.seq, stale))
+        dlht_sizes = sorted(len(t) for t in kernel.coherence.dlhts)
+        state.append((_fingerprint(kernel), digest, dlht_sizes,
+                      kernel.coherence.counter))
+    assert state[0] == state[1]
+
+
+class TestBatchedShootdown:
+    def test_golden_fixed_tree(self):
+        """Deterministic differential over a tree with every node kind."""
+        spec = [("dir", 0, 0), ("dir", 1, 1), ("file", 1, 0),
+                ("file", 2, 1), ("symlink", 0, 2), ("neg", 1, 0),
+                ("dir", 0, 3), ("mount", 3, 1), ("file", 3, 2),
+                ("neg", 2, 5)]
+        _shootdown_differential(spec, root_pick=0, include_self=True)
+        _shootdown_differential(spec, root_pick=1, include_self=True)
+        _shootdown_differential(spec, root_pick=0, include_self=False)
+
+    def test_shootdown_on_cold_subtree_elides_bump(self):
+        """No cached fastpath state + nothing mid-walk: both walks skip
+        the counter bump and say so in the same stat."""
+        kernel = make_kernel("optimized")
+        task = kernel.spawn_task(uid=0, gid=0)
+        kernel.sys.mkdir(task, "/cold")
+        dentry = kernel.sys._resolve(task, "/cold",
+                                     follow_last=True).dentry
+        # Strip the fast state the mkdir walk allocated: the elision is
+        # for subtrees the fastpath never populated (an allocated-but-
+        # invalidated FastDentry still counts as found, since a probe
+        # may be holding it).
+        dentry.fast = None
+        for child in dentry.children.values():
+            child.fast = None
+        before = kernel.coherence.counter
+        elided = kernel.stats.snapshot().get("counter_bump_elided", 0)
+        kernel.coherence.shootdown_subtree(dentry)
+        assert kernel.coherence.counter == before
+        assert kernel.stats.snapshot()["counter_bump_elided"] == elided + 1
+
+    def test_hypothesis_random_subtrees(self):
+        """Property sweep: arbitrary tree shapes (dirs, files, symlinks,
+        negative dentries, bind mounts), arbitrary shootdown roots."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        op = st.tuples(
+            st.sampled_from(["dir", "file", "symlink", "neg", "mount"]),
+            st.integers(0, 7), st.integers(0, 7))
+
+        @given(spec=st.lists(op, min_size=3, max_size=16),
+               root_pick=st.integers(0, 7),
+               include_self=st.booleans())
+        @settings(max_examples=25, deadline=None)
+        def sweep(spec, root_pick, include_self):
+            _shootdown_differential(spec, root_pick, include_self)
+
+        sweep()
+
+
+# -- memoized mutation-path resolution -------------------------------------
+
+class TestMemoMutationChurn:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_memo_off_on_byte_identity(self, profile):
+        """create/stat/rename/unlink churn: bit-identical memo on/off,
+        and the memo actually replays across mutation cycles (the
+        scoped-kill payoff — a bulk flush per mutation would leave zero
+        hits on this workload).  Lazy coherence stamps the global epoch
+        on every mutation and recordings never survive an epoch bump,
+        so there the check is only that the memo engaged (misses
+        recorded) without perturbing costs."""
+        prints = {}
+        hits = misses = None
+        for memo_on in (False, True):
+            kernel = make_kernel(profile, resolution_memo=memo_on)
+            task = kernel.spawn_task(uid=0, gid=0)
+            sys = kernel.sys
+            sys.mkdir(task, "/w")
+            sys.mkdir(task, "/w/keep")
+            for _ in range(25):
+                fd = sys.open(task, "/w/f", O_CREAT | O_RDWR)
+                sys.close(task, fd)
+                sys.stat(task, "/w/f")
+                sys.stat(task, "/w/keep")
+                sys.rename(task, "/w/f", "/w/g")
+                sys.stat(task, "/w/g")
+                sys.unlink(task, "/w/g")
+            prints[memo_on] = _fingerprint(kernel)
+            if memo_on:
+                hits = kernel.memo.hits
+                misses = kernel.memo.misses
+        assert prints[True] == prints[False]
+        if profile == "optimized-lazy":
+            assert misses > 0
+        else:
+            assert hits > 0
+
+
+# -- charge-plan delta patching --------------------------------------------
+
+def _forge_stale_capture(kernel, program, shape_local):
+    """Make a live segment plan's capture stale without touching virtual
+    state — the situation delta patching exists for (the stored charge
+    vector no longer matches what the segment really charges).
+
+    ``shape_local=True`` perturbs one event's count vector (same rows,
+    different numbers — patchable); ``False`` drops an event (different
+    structure — must fall back to invalidate+recapture).
+    """
+    registry = kernel.costs.plans
+    cell = registry.cells(program, program.plan_segments)[0]
+    assert cell.plan is not None, "segment plan did not compile"
+    events, deltas = cell.plan.capture
+    if shape_local:
+        ev = list(events)
+        i = next(i for i, e in enumerate(ev) if e[0] is None)
+        ev[i] = (ev[i][0], ev[i][1], ev[i][2] + 1, ev[i][3])
+        forged = (tuple(ev), deltas)
+        assert registry.shape_local(events, forged[0])
+    else:
+        forged = (events[:-1], deltas)
+        assert not registry.shape_local(forged[0], events)
+    fn, total = _plan_fn(kernel.costs, forged[0])
+    registry.patch(cell, fn, total, forged, kernel.costs.rates_version,
+                   object())
+    registry.patched = 0  # the forge itself went through patch()
+    return cell
+
+
+class TestPlanDeltaPatch:
+    def test_shape_local_classifier(self):
+        from repro.sim.costs import ChargePlanRegistry, _RAW_NS
+        sl = ChargePlanRegistry.shape_local
+        base = ((None, "syscall_fixed", 1, 0),
+                (_RAW_NS, "app_compute", 5.0, None))
+        assert sl(base, base)
+        # Vector moves (times/nbytes/raw-ns) stay shape-local.
+        assert sl(((None, "syscall_fixed", 3, 8),
+                   (_RAW_NS, "app_compute", 9.5, None)), base)
+        # Structural moves do not: primitive, length, raw-row scope.
+        assert not sl(((None, "stat_fill", 1, 0),
+                       (_RAW_NS, "app_compute", 5.0, None)), base)
+        assert not sl(base[:1], base)
+        assert not sl(((None, "syscall_fixed", 1, 0),
+                       (_RAW_NS, "app_compute", 5.0, "hash")), base)
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_delta_patch_bit_identity(self, profile):
+        """A shape-locally stale plan is patched back in place from the
+        fresh capture — two interpreted runs instead of a warmup+capture
+        cycle — and virtual costs match a plans-off kernel exactly."""
+        prints = {}
+        telemetry = None
+        for plans in (False, True):
+            kernel = make_kernel(profile)
+            task = kernel.spawn_task(uid=0, gid=0)
+            program = compile_trace(build_loop_trace(profile=profile))
+            for _ in range(4):
+                replay_compiled(kernel, task, program, plans=plans)
+            if plans:
+                cell = _forge_stale_capture(kernel, program,
+                                            shape_local=True)
+                true_capture = None
+            task2 = kernel.spawn_task(uid=0, gid=0)
+            for _ in range(3):
+                replay_compiled(kernel, task2, program, plans=plans)
+            prints[plans] = _fingerprint(kernel)
+            if plans:
+                telemetry = kernel.costs.plans.telemetry()
+                true_capture = cell.plan.capture
+        assert prints[True] == prints[False]
+        assert telemetry["patched"] >= 1
+        assert telemetry["invalidated"] == 0
+        # The patched plan carries the *recorded* stream, not the forgery.
+        assert true_capture is not None
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_structural_mismatch_falls_back(self, profile):
+        """A structurally different capture cannot be patched: the cell
+        resets through the full invalidate+recapture cycle — and stays
+        bit-identical to plans-off throughout."""
+        prints = {}
+        telemetry = None
+        for plans in (False, True):
+            kernel = make_kernel(profile)
+            task = kernel.spawn_task(uid=0, gid=0)
+            program = compile_trace(build_loop_trace(profile=profile))
+            for _ in range(4):
+                replay_compiled(kernel, task, program, plans=plans)
+            if plans:
+                _forge_stale_capture(kernel, program, shape_local=False)
+            task2 = kernel.spawn_task(uid=0, gid=0)
+            for _ in range(4):
+                replay_compiled(kernel, task2, program, plans=plans)
+            prints[plans] = _fingerprint(kernel)
+            if plans:
+                telemetry = kernel.costs.plans.telemetry()
+        assert prints[True] == prints[False]
+        assert telemetry["invalidated"] >= 1
+        assert telemetry["patched"] == 0
+
+
+# -- lazy sweeper: sweep_all purity ----------------------------------------
+
+def _sweep_setup():
+    kernel = make_kernel("optimized-lazy")
+    task = kernel.spawn_task(uid=0, gid=0)
+    sys = kernel.sys
+    sys.mkdir(task, "/z")
+    for i in range(10):
+        fd = sys.open(task, f"/z/f{i}", O_CREAT | O_RDWR)
+        sys.close(task, fd)
+    for i in range(10):
+        sys.stat(task, f"/z/f{i}")
+    return kernel
+
+
+class TestSweepAllPurity:
+    def test_sweep_all_ignores_leftover_worklists(self):
+        """``sweep_all`` must charge as a pure function of cache state —
+        a half-consumed incremental worklist left by ``sweep_once`` is
+        discarded and rebuilt, never drained (the double-scan
+        regression), and each full sweep is exactly one refill pass
+        (``pass_gen`` advances by one)."""
+        contaminated, fresh = _sweep_setup(), _sweep_setup()
+        contaminated.sweeper.batch = 3
+        contaminated.sweeper.sweep_once()  # leaves worklists mid-pass
+        assert contaminated.sweeper._dlht_work \
+            or contaminated.sweeper._pcc_work
+        deltas = []
+        for kernel in (contaminated, fresh):
+            sweeper = kernel.sweeper
+            costs = kernel.costs
+            now0, counts0 = costs.now_ns, dict(costs.counts)
+            gen0 = sweeper.pass_gen
+            sweeper.sweep_all()
+            deltas.append((
+                costs.now_ns - now0,
+                {p: c - counts0.get(p, 0)
+                 for p, c in costs.counts.items()
+                 if c != counts0.get(p, 0)}))
+            assert sweeper.pass_gen == gen0 + 1
+            assert not sweeper._dlht_work and not sweeper._pcc_work
+        assert deltas[0] == deltas[1]

@@ -154,6 +154,42 @@ class TestNameMapAndCheckGate:
             json.dump(payload, fh)
         return str(path)
 
+    @pytest.fixture(autouse=True)
+    def _synthetic_baselines(self, monkeypatch):
+        # The coverage/threshold cases below use tiny synthetic
+        # baselines; the write-path required-keys rule has its own test.
+        monkeypatch.setattr(speed, "REQUIRED_BASELINE_KEYS", ())
+
+    def test_check_requires_write_path_cells(self, tmp_path, capsys,
+                                             monkeypatch):
+        monkeypatch.setattr(
+            speed, "REQUIRED_BASELINE_KEYS",
+            tuple(f"{name}[{profile}]"
+                  for name in ("rename_churn", "create_unlink")
+                  for profile in speed.PROFILES))
+        baseline = self._write(tmp_path / "base.json", {
+            "results": {"warm_stat[baseline]": 10.0}})
+        export = self._write(tmp_path / "bench.json", {
+            "benchmarks": [{"name": "test_warm_stat_wallclock[baseline]",
+                            "stats": {"median": 10.0e-6}}]})
+        status = speed.check_regressions(export, baseline, 0.25)
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "rename_churn[optimized]" in err
+        assert "create_unlink[baseline]" in err
+
+    def test_committed_baseline_carries_required_keys(self):
+        here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        with open(os.path.join(here, "BENCH_simspeed.json")) as fh:
+            baseline = json.load(fh)["results"]
+        # The literal, not speed.REQUIRED_BASELINE_KEYS — the autouse
+        # fixture above blanks that attribute for this class.
+        required = tuple(f"{name}[{profile}]"
+                         for name in ("rename_churn", "create_unlink")
+                         for profile in speed.PROFILES)
+        missing = [key for key in required if key not in baseline]
+        assert not missing
+
     def test_check_fails_loudly_on_uncovered_baseline_key(self, tmp_path,
                                                           capsys):
         baseline = self._write(tmp_path / "base.json", {
